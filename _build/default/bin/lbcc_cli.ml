@@ -1,0 +1,208 @@
+(* Command-line front end: generate inputs, run the three main algorithms,
+   inspect round counts.
+
+     lbcc sparsify --vertices 64 --family er --epsilon 0.5
+     lbcc solve    --vertices 64 --family grid --eps 1e-8
+     lbcc spanner  --vertices 96 --stretch 3 --edge-prob 0.5
+     lbcc flow     --vertices 8 --density 0.3 --max-capacity 6 --max-cost 5
+*)
+
+open Cmdliner
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+module Vec = Lbcc_linalg.Vec
+module Lbcc = Lbcc_core.Lbcc
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n"; "vertices" ] ~docv:"N" ~doc:"Number of vertices.")
+
+let family_arg =
+  let families = [ ("er", `Er); ("grid", `Grid); ("complete", `Complete);
+                   ("torus", `Torus); ("geometric", `Geometric); ("barbell", `Barbell) ] in
+  Arg.(
+    value
+    & opt (enum families) `Er
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:"Graph family: er, grid, complete, torus, geometric, barbell.")
+
+let w_max_arg =
+  Arg.(value & opt int 8 & info [ "w-max" ] ~docv:"W" ~doc:"Maximum edge weight.")
+
+let make_graph family seed n w_max =
+  let prng = Prng.create seed in
+  match family with
+  | `Er -> Gen.erdos_renyi_connected prng ~n ~p:0.3 ~w_max
+  | `Grid ->
+      let side = Stdlib.max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.grid prng ~rows:side ~cols:side ~w_max
+  | `Complete -> Gen.complete prng ~n ~w_max
+  | `Torus ->
+      let side = Stdlib.max 3 (int_of_float (sqrt (float_of_int n))) in
+      Gen.torus prng ~rows:side ~cols:side ~w_max
+  | `Geometric -> Gen.random_geometric prng ~n ~radius:0.3 ~w_max
+  | `Barbell -> Gen.barbell prng ~clique:(Stdlib.max 2 (n / 3)) ~path:(Stdlib.max 1 (n / 3)) ~w_max
+
+let pp_rounds (r : Lbcc.rounds_report) =
+  Printf.printf "rounds: %d total (B = %d bits/message)\n" r.Lbcc.total r.Lbcc.bandwidth;
+  List.iter (fun (label, rds) -> Printf.printf "  %-28s %d\n" label rds) r.Lbcc.breakdown
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+
+let sparsify_cmd =
+  let epsilon =
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Target spectral error.")
+  in
+  let t = Arg.(value & opt (some int) None & info [ "t"; "bundle" ] ~doc:"Bundle size override.") in
+  let run seed n family w_max epsilon t =
+    let g = make_graph family seed n w_max in
+    Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
+    let r = Lbcc.sparsify ~seed ~epsilon ?t g in
+    Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
+      (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
+    pp_rounds r.Lbcc.rounds
+  in
+  Cmd.v
+    (Cmd.info "sparsify" ~doc:"Spectral sparsification (Theorem 1.2)")
+    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t)
+
+let solve_cmd =
+  let eps = Arg.(value & opt float 1e-8 & info [ "eps" ] ~doc:"Solution accuracy.") in
+  let run seed n family w_max eps =
+    let g = make_graph family seed n w_max in
+    let nv = Graph.n g in
+    Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
+    let prng = Prng.create (seed + 1) in
+    let b = Vec.mean_center (Vec.init nv (fun _ -> Prng.gaussian prng)) in
+    let r = Lbcc.solve_laplacian ~seed ~eps g ~b in
+    Printf.printf
+      "solved L x = b: residual %.2e in %d iterations\n\
+       rounds: %d preprocessing + %d per solve\n"
+      r.Lbcc.residual r.Lbcc.iterations r.Lbcc.preprocessing_rounds r.Lbcc.solve_rounds
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Laplacian solving (Theorem 1.3)")
+    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps)
+
+let spanner_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
+  let edge_prob =
+    Arg.(value & opt float 1.0 & info [ "edge-prob" ] ~doc:"Edge survival probability.")
+  in
+  let run seed n family w_max k edge_prob =
+    let g = make_graph family seed n w_max in
+    Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
+    let p = Array.make (Graph.m g) edge_prob in
+    let r = Lbcc_spanner.Spanner.run ~prng:(Prng.create seed) ~graph:g ~p ~k () in
+    let h = Graph.sub_edges g r.Lbcc_spanner.Spanner.fplus in
+    Printf.printf
+      "spanner: |F+|=%d |F-|=%d  stretch=%.2f (bound %d)  rounds=%d  views agree=%b\n"
+      (List.length r.Lbcc_spanner.Spanner.fplus)
+      (List.length r.Lbcc_spanner.Spanner.fminus)
+      (Lbcc_graph.Paths.stretch g h)
+      ((2 * k) - 1)
+      r.Lbcc_spanner.Spanner.rounds r.Lbcc_spanner.Spanner.views_agree
+  in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Baswana-Sen spanner with probabilistic edges (Section 3.1)")
+    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ k $ edge_prob)
+
+let flow_cmd =
+  let density = Arg.(value & opt float 0.3 & info [ "density" ] ~doc:"Arc density.") in
+  let max_capacity =
+    Arg.(value & opt int 6 & info [ "max-capacity" ] ~doc:"Maximum arc capacity.")
+  in
+  let max_cost = Arg.(value & opt int 5 & info [ "max-cost" ] ~doc:"Maximum arc cost.") in
+  let input =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:"Read the network from FILE (see Network_io format) instead of \
+                generating one.")
+  in
+  let output_dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output-dot" ] ~docv:"FILE"
+          ~doc:"Write the network with the optimal flow as Graphviz DOT.")
+  in
+  let run seed n density max_capacity max_cost input output_dot =
+    let net =
+      match input with
+      | Some path -> Lbcc_flow.Network_io.load path
+      | None ->
+          Lbcc_flow.Network.random (Prng.create seed) ~n ~density ~max_capacity
+            ~max_cost
+    in
+    Printf.printf "network: n=%d m=%d\n" net.Lbcc_flow.Network.n
+      (Lbcc_flow.Network.m net);
+    let r = Lbcc.min_cost_max_flow ~seed net in
+    Printf.printf
+      "min-cost max-flow: value=%d cost=%d  exact vs baseline=%b\n\
+       IPM iterations=%d  total rounds=%d\n"
+      r.Lbcc.value r.Lbcc.cost r.Lbcc.exact r.Lbcc.ipm_iterations
+      r.Lbcc.rounds.Lbcc.total;
+    match output_dot with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Lbcc_flow.Network_io.to_dot ~flow:r.Lbcc.flow net));
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Exact minimum-cost maximum flow (Theorem 1.1)")
+    Term.(
+      const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
+      $ output_dot)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("graph", `G); ("network", `N) ]) `G
+      & info [ "kind" ] ~doc:"What to generate: graph or network.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output" ] ~docv:"FILE" ~doc:"Output file path.")
+  in
+  let run seed n family w_max kind out =
+    match kind with
+    | `G ->
+        let g = make_graph family seed n w_max in
+        Lbcc_graph.Io.save_graph out g;
+        Printf.printf "wrote graph n=%d m=%d to %s\n" (Graph.n g) (Graph.m g) out
+    | `N ->
+        let net =
+          Lbcc_flow.Network.random (Prng.create seed) ~n ~density:0.3
+            ~max_capacity:w_max ~max_cost:w_max
+        in
+        Lbcc_flow.Network_io.save out net;
+        Printf.printf "wrote network n=%d m=%d to %s\n" net.Lbcc_flow.Network.n
+          (Lbcc_flow.Network.m net) out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph or flow network file")
+    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ kind $ out)
+
+let main_cmd =
+  let doc = "The Laplacian paradigm in the Broadcast Congested Clique" in
+  Cmd.group
+    (Cmd.info "lbcc" ~version:Lbcc.version ~doc)
+    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/electrical_grid.ml: Array Float Hashtbl Lbcc_graph Lbcc_laplacian Lbcc_linalg Lbcc_util List Printf Prng

@@ -1,0 +1,1 @@
+examples/electrical_grid.mli:

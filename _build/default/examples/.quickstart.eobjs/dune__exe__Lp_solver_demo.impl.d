@@ -1,0 +1,1 @@
+examples/lp_solver_demo.ml: Array Float Fun Lbcc_flow Lbcc_linalg Lbcc_lp Lbcc_util List Printf Prng

@@ -1,0 +1,1 @@
+examples/lp_solver_demo.mli:

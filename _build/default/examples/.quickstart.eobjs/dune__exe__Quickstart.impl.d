@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Lbcc_core Lbcc_flow Lbcc_graph Lbcc_linalg Lbcc_util Printf Prng

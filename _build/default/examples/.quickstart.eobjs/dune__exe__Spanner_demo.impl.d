@@ -1,0 +1,1 @@
+examples/spanner_demo.ml: Array Fun Hashtbl Lbcc_graph Lbcc_spanner Lbcc_util List Printf Prng Stdlib

@@ -1,0 +1,1 @@
+examples/streaming_resparsify.ml: Array Fun Lbcc_graph Lbcc_sparsifier Lbcc_util Printf Prng

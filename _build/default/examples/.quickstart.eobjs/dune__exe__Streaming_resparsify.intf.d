@@ -1,0 +1,1 @@
+examples/streaming_resparsify.mli:

@@ -1,0 +1,1 @@
+examples/transport_network.ml: Array Lbcc_flow Lbcc_util Printf Prng Unix

@@ -1,0 +1,53 @@
+(* Quickstart: the three headline results on one small input.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Vec = Lbcc_linalg.Vec
+module Lbcc = Lbcc_core.Lbcc
+
+let () =
+  Printf.printf "== Laplacian paradigm in the Broadcast Congested Clique ==\n";
+  Printf.printf "library version %s\n\n" Lbcc.version;
+
+  (* A random weighted graph on 64 vertices. *)
+  let prng = Prng.create 2022 in
+  let g = Lbcc_graph.Gen.erdos_renyi_connected prng ~n:64 ~p:0.3 ~w_max:8 in
+  Printf.printf "input graph: n=%d m=%d total weight %.0f\n" (Graph.n g)
+    (Graph.m g) (Graph.total_weight g);
+
+  (* 1. Spectral sparsification (Theorem 1.2). *)
+  let s = Lbcc.sparsify ~seed:1 ~epsilon:0.5 ~t:8 g in
+  Printf.printf "\n[Theorem 1.2] sparsifier: m=%d (%.0f%% of input)\n"
+    (Graph.m s.Lbcc.sparsifier)
+    (100.0 *. float_of_int (Graph.m s.Lbcc.sparsifier) /. float_of_int (Graph.m g));
+  Printf.printf "  certified spectral error eps = %.3f\n" s.Lbcc.epsilon_achieved;
+  Printf.printf "  max out-degree of orientation = %d\n" s.Lbcc.out_degree_max;
+  Printf.printf "  Broadcast CONGEST rounds = %d (B = %d bits)\n"
+    s.Lbcc.rounds.Lbcc.total s.Lbcc.rounds.Lbcc.bandwidth;
+
+  (* 2. Laplacian solving (Theorem 1.3): an electrical-potential query. *)
+  let b = Vec.zeros 64 in
+  b.(0) <- 1.0;
+  b.(63) <- -1.0;
+  let r = Lbcc.solve_laplacian ~seed:2 ~eps:1e-8 g ~b in
+  Printf.printf "\n[Theorem 1.3] Laplacian solve L x = e_0 - e_63:\n";
+  Printf.printf "  residual ||b - Lx||/||b|| = %.2e in %d Chebyshev iterations\n"
+    r.Lbcc.residual r.Lbcc.iterations;
+  Printf.printf "  rounds: %d preprocessing + %d per solve\n"
+    r.Lbcc.preprocessing_rounds r.Lbcc.solve_rounds;
+  Printf.printf "  effective resistance R(0, 63) = %.4f\n"
+    (r.Lbcc.solution.(0) -. r.Lbcc.solution.(63));
+
+  (* 3. Min-cost max-flow (Theorem 1.1). *)
+  let net =
+    Lbcc_flow.Network.random (Prng.create 7) ~n:8 ~density:0.3 ~max_capacity:6
+      ~max_cost:5
+  in
+  let f = Lbcc.min_cost_max_flow ~seed:3 net in
+  Printf.printf "\n[Theorem 1.1] min-cost max-flow on a random 8-vertex network:\n";
+  Printf.printf "  value = %d, cost = %d, exact vs combinatorial baseline: %b\n"
+    f.Lbcc.value f.Lbcc.cost f.Lbcc.exact;
+  Printf.printf "  interior-point iterations = %d, BCC rounds = %d\n"
+    f.Lbcc.ipm_iterations f.Lbcc.rounds.Lbcc.total

@@ -1,0 +1,62 @@
+(* Maintaining a sparsifier of a growing graph by resparsification.
+
+   The Kyng–Pachocki–Peng–Sachdeva framework behind Theorem 3.4 is a
+   *resparsification* analysis: sparsifying a union of sparsifiers stays
+   spectrally faithful, with errors composing multiplicatively.  This demo
+   processes a graph arriving in batches of edges: instead of re-running
+   the sparsifier on everything seen so far, it keeps a compressed sketch
+   and re-sparsifies [sketch ∪ new batch] — the sketch stays small while
+   the accumulated input keeps growing.
+
+   Run with:  dune exec examples/streaming_resparsify.exe *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Sparsify = Lbcc_sparsifier.Sparsify
+module Certify = Lbcc_sparsifier.Certify
+
+let () =
+  let n = 96 in
+  let batches = 6 in
+  let prng = Prng.create 2024 in
+  (* The full stream: a dense graph revealed in random batches. *)
+  let full = Lbcc_graph.Gen.complete prng ~n ~w_max:4 in
+  let order = Array.init (Graph.m full) Fun.id in
+  Prng.shuffle prng order;
+  let per_batch = Graph.m full / batches in
+  Printf.printf
+    "streaming %d edges over %d vertices in %d batches of ~%d edges\n\n"
+    (Graph.m full) n batches per_batch;
+  Printf.printf "%6s | %9s %9s | %9s %9s\n" "batch" "seen m" "sketch m"
+    "eps(seen)" "compress";
+
+  let sketch = ref (Graph.create ~n []) in
+  let seen = ref (Graph.create ~n []) in
+  for b = 0 to batches - 1 do
+    let from = b * per_batch in
+    let upto = if b = batches - 1 then Graph.m full - 1 else from + per_batch - 1 in
+    let batch_ids = Array.to_list (Array.sub order from (upto - from + 1)) in
+    let batch = Graph.sub_edges full batch_ids in
+    seen := Graph.coalesce (Graph.union !seen batch);
+    (* Resparsify sketch ∪ batch, never the full accumulated graph. *)
+    let r =
+      Sparsify.resparsify
+        ~prng:(Prng.create (100 + b))
+        ~graphs:[ !sketch; batch ] ~epsilon:0.5 ~t:4 ~k:5 ()
+    in
+    sketch := r.Sparsify.sparsifier;
+    let eps =
+      if Graph.is_connected !seen then
+        (Certify.exact !seen !sketch).Certify.epsilon_achieved
+      else nan
+    in
+    Printf.printf "%6d | %9d %9d | %9.3f %8.1f%%\n" (b + 1) (Graph.m !seen)
+      (Graph.m !sketch) eps
+      (100.0 *. float_of_int (Graph.m !sketch) /. float_of_int (Graph.m !seen))
+  done;
+  Printf.printf
+    "\nthe sketch answers Laplacian queries for the whole stream: the\n\
+     final certified eps bounds x^T L_seen x vs x^T L_sketch x for all x.\n\
+     (with the paper's bundle size t = Theta(log^2 n / eps^2) the certified\n\
+     eps would stay fixed across batches — Theorem 3.4; the calibrated t\n\
+     trades accumulated error for the compression visible above.)\n"

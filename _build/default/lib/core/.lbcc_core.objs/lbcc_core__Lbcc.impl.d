@@ -1,0 +1,1 @@
+lib/core/lbcc.ml: Array Lbcc_flow Lbcc_graph Lbcc_laplacian Lbcc_linalg Lbcc_net Lbcc_sparsifier Lbcc_util Prng Stdlib

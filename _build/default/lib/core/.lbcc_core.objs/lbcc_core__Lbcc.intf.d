@@ -1,0 +1,1 @@
+lib/core/lbcc.mli: Lbcc_flow Lbcc_graph Lbcc_linalg

@@ -1,0 +1,99 @@
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Network = Lbcc_flow.Network
+module Vec = Lbcc_linalg.Vec
+module Rounds = Lbcc_net.Rounds
+module Model = Lbcc_net.Model
+
+let version = "1.0.0"
+
+type rounds_report = {
+  total : int;
+  breakdown : (string * int) list;
+  bandwidth : int;
+}
+
+let report_of acc =
+  {
+    total = Rounds.rounds acc;
+    breakdown = Rounds.breakdown acc;
+    bandwidth = Rounds.bandwidth acc;
+  }
+
+type sparsifier_result = {
+  sparsifier : Graph.t;
+  epsilon_achieved : float;
+  out_degree_max : int;
+  rounds : rounds_report;
+}
+
+let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t g =
+  let n = Graph.n g in
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+  let prng = Prng.create seed in
+  let r = Lbcc_sparsifier.Sparsify.run ~accountant:acc ?t ~prng ~graph:g ~epsilon () in
+  let cert =
+    if n <= 400 then Lbcc_sparsifier.Certify.exact g r.Lbcc_sparsifier.Sparsify.sparsifier
+    else
+      Lbcc_sparsifier.Certify.probe (Prng.split prng) g
+        r.Lbcc_sparsifier.Sparsify.sparsifier ~samples:64
+  in
+  let out_deg = Lbcc_sparsifier.Sparsify.out_degrees r in
+  {
+    sparsifier = r.Lbcc_sparsifier.Sparsify.sparsifier;
+    epsilon_achieved = cert.Lbcc_sparsifier.Certify.epsilon_achieved;
+    out_degree_max = Array.fold_left Stdlib.max 0 out_deg;
+    rounds = report_of acc;
+  }
+
+type laplacian_result = {
+  solution : Vec.t;
+  residual : float;
+  iterations : int;
+  preprocessing_rounds : int;
+  solve_rounds : int;
+}
+
+let solve_laplacian ?(seed = 1) ?(eps = 1e-8) g ~b =
+  let prng = Prng.create seed in
+  let solver = Lbcc_laplacian.Solver.preprocess ~prng ~graph:g () in
+  let r = Lbcc_laplacian.Solver.solve solver ~b ~eps in
+  {
+    solution = r.Lbcc_laplacian.Solver.solution;
+    residual = r.Lbcc_laplacian.Solver.residual;
+    iterations = r.Lbcc_laplacian.Solver.iterations;
+    preprocessing_rounds = Lbcc_laplacian.Solver.preprocessing_rounds solver;
+    solve_rounds = r.Lbcc_laplacian.Solver.rounds;
+  }
+
+type flow_result = {
+  flow : float array;
+  value : int;
+  cost : int;
+  exact : bool;
+  ipm_iterations : int;
+  rounds : rounds_report;
+}
+
+let min_cost_max_flow ?(seed = 1) net =
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n:net.Network.n) in
+  let r = Lbcc_flow.Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create seed) net in
+  {
+    flow = r.Lbcc_flow.Mcmf_lp.flow;
+    value = r.Lbcc_flow.Mcmf_lp.value;
+    cost = r.Lbcc_flow.Mcmf_lp.cost;
+    exact = r.Lbcc_flow.Mcmf_lp.matches_baseline;
+    ipm_iterations = r.Lbcc_flow.Mcmf_lp.iterations;
+    rounds = report_of acc;
+  }
+
+let effective_resistance ?(seed = 1) g ~s ~t =
+  if s = t then 0.0
+  else begin
+    let n = Graph.n g in
+    let b = Vec.zeros n in
+    b.(s) <- 1.0;
+    b.(t) <- -1.0;
+    let r = solve_laplacian ~seed ~eps:1e-10 g ~b in
+    r.solution.(s) -. r.solution.(t)
+  end

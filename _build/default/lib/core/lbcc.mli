@@ -1,0 +1,71 @@
+(** Laplacian paradigm in the Broadcast Congested Clique — public API.
+
+    One-call entry points for the paper's three main results, each returning
+    its result together with the simulated round count:
+
+    - {!sparsify}: Theorem 1.2 — spectral sparsification in Broadcast
+      CONGEST;
+    - {!solve_laplacian}: Theorem 1.3 — the BCC Laplacian solver;
+    - {!min_cost_max_flow}: Theorem 1.1 — exact minimum-cost maximum flow
+      in [O~(sqrt n)] BCC rounds.
+
+    The underlying building blocks are exposed through the per-subsystem
+    libraries ([Lbcc_spanner], [Lbcc_sparsifier], [Lbcc_laplacian],
+    [Lbcc_lp], [Lbcc_flow], [Lbcc_net], [Lbcc_graph], [Lbcc_linalg],
+    [Lbcc_util]); this module is the curated front door. *)
+
+module Graph = Lbcc_graph.Graph
+module Network = Lbcc_flow.Network
+module Vec = Lbcc_linalg.Vec
+
+type rounds_report = {
+  total : int;  (** rounds charged in the simulated model *)
+  breakdown : (string * int) list;  (** per-phase label totals *)
+  bandwidth : int;  (** B, bits per message per round *)
+}
+
+type sparsifier_result = {
+  sparsifier : Graph.t;
+  epsilon_achieved : float;
+      (** exact spectral certificate (eigensolver) for [n <= 400],
+          probed otherwise *)
+  out_degree_max : int;
+  rounds : rounds_report;
+}
+
+val sparsify :
+  ?seed:int -> ?epsilon:float -> ?t:int -> Graph.t -> sparsifier_result
+(** Spectral sparsification (Theorem 1.2) of a connected weighted graph.
+    [epsilon] defaults to [0.5]; [t] overrides the bundle size. *)
+
+type laplacian_result = {
+  solution : Vec.t;
+  residual : float;  (** measured [||b - L x||/||b||] *)
+  iterations : int;
+  preprocessing_rounds : int;
+  solve_rounds : int;
+}
+
+val solve_laplacian :
+  ?seed:int -> ?eps:float -> Graph.t -> b:Vec.t -> laplacian_result
+(** High-precision Laplacian solve (Theorem 1.3): [eps] defaults to
+    [1e-8]; [b] must have zero sum; the graph must be connected. *)
+
+type flow_result = {
+  flow : float array;
+  value : int;
+  cost : int;
+  exact : bool;  (** certified against the combinatorial baseline *)
+  ipm_iterations : int;
+  rounds : rounds_report;
+}
+
+val min_cost_max_flow : ?seed:int -> Network.t -> flow_result
+(** Exact minimum-cost maximum s-t flow (Theorem 1.1) through the interior
+    point pipeline, certified against successive shortest paths. *)
+
+val effective_resistance : ?seed:int -> Graph.t -> s:int -> t:int -> float
+(** Effective resistance between two vertices via the Laplacian solver —
+    the classical first application of the Laplacian paradigm. *)
+
+val version : string

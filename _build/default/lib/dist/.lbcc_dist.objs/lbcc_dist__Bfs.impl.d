@@ -1,0 +1,1 @@
+lib/dist/bfs.ml: Array Bits Lbcc_graph Lbcc_net Lbcc_util

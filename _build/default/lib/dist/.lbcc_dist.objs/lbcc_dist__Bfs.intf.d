@@ -1,0 +1,1 @@
+lib/dist/bfs.mli: Lbcc_graph Lbcc_net

@@ -1,0 +1,1 @@
+lib/dist/leader.ml: Array Lbcc_graph Lbcc_net Lbcc_util List Stdlib

@@ -1,0 +1,1 @@
+lib/dist/leader.mli: Lbcc_graph Lbcc_net

@@ -1,0 +1,1 @@
+lib/dist/sssp.ml: Array Lbcc_graph Lbcc_net List

@@ -1,0 +1,1 @@
+lib/dist/sssp.mli: Lbcc_graph Lbcc_net

@@ -1,0 +1,50 @@
+open Lbcc_util
+module Engine = Lbcc_net.Engine
+module Graph = Lbcc_graph.Graph
+
+type state = {
+  sdist : int;
+  sparent : int;
+  announced : bool;
+}
+
+type result = {
+  dist : int array;
+  parent : int array;
+  rounds : int;
+  supersteps : int;
+}
+
+let run ?accountant ~model ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Bfs.run: source out of range";
+  let init v =
+    if v = source then { sdist = 0; sparent = -1; announced = false }
+    else { sdist = max_int; sparent = -1; announced = false }
+  in
+  let step ~round:_ ~vertex:_ (st : state) inbox =
+    if st.sdist < max_int then
+      if st.announced then (st, None, false)
+      else ({ st with announced = true }, Some st.sdist, true)
+    else begin
+      (* Adopt the first (lowest-id) announcer as parent and announce the
+         new distance in the same superstep. *)
+      match inbox with
+      | (sender, d) :: _ ->
+          ({ sdist = d + 1; sparent = sender; announced = true }, Some (d + 1), true)
+      | [] -> (st, None, true)
+    end
+  in
+  let states, stats =
+    Engine.run ?accountant ~label:"bfs" ~model ~graph
+      ~size_bits:(fun d -> Bits.int_bits d)
+      ~init ~step
+      ~max_supersteps:(2 * (n + 1))
+      ()
+  in
+  {
+    dist = Array.map (fun s -> s.sdist) states;
+    parent = Array.map (fun s -> s.sparent) states;
+    rounds = stats.Engine.rounds;
+    supersteps = stats.Engine.supersteps;
+  }

@@ -1,0 +1,24 @@
+(** Distributed breadth-first search as an {!Lbcc_net.Engine} vertex
+    program: unweighted single-source distances and a BFS tree, in any of
+    the broadcast models.
+
+    In Broadcast CONGEST this takes [O(D)] rounds for hop-diameter [D]; in
+    the Broadcast Congested Clique every vertex hears the wave after one
+    hop of the clique topology.  Used as context for the paper's intro
+    comparison of SSSP complexities. *)
+
+type result = {
+  dist : int array;  (** hop distance, [max_int] if unreachable *)
+  parent : int array;  (** BFS-tree parent, [-1] at the root/unreachable *)
+  rounds : int;
+  supersteps : int;
+}
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result
+(** @raise Invalid_argument on a unicast model. *)

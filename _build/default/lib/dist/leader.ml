@@ -1,0 +1,58 @@
+module Engine = Lbcc_net.Engine
+module Graph = Lbcc_graph.Graph
+module Model = Lbcc_net.Model
+
+type state = {
+  best : int;
+  changed : bool;
+  idle : int;
+}
+
+type result = {
+  leader : int;
+  rounds : int;
+  supersteps : int;
+}
+
+let run ?accountant ~model ~graph () =
+  let n = Graph.n graph in
+  if n = 0 then invalid_arg "Leader.run: empty graph";
+  if model.Model.topology = Model.Input_graph && not (Graph.is_connected graph)
+  then invalid_arg "Leader.run: graph must be connected";
+  let init v = { best = v; changed = true; idle = 0 } in
+  (* In the clique topology one broadcast round suffices: every vertex
+     hears every id and can halt immediately.  On the input graph, flood
+     the smallest id and halt after [n] quiet supersteps (a vertex cannot
+     locally distinguish "stable" from "the wave is still far away"
+     earlier than that). *)
+  let step =
+    match model.Model.topology with
+    | Model.Clique ->
+        fun ~round ~vertex:_ (st : state) inbox ->
+          if round = 1 then (st, Some st.best, true)
+          else begin
+            let best =
+              List.fold_left (fun acc (_, b) -> Stdlib.min acc b) st.best inbox
+            in
+            ({ st with best }, None, false)
+          end
+    | Model.Input_graph ->
+        fun ~round:_ ~vertex:_ (st : state) inbox ->
+          let best =
+            List.fold_left (fun acc (_, b) -> Stdlib.min acc b) st.best inbox
+          in
+          let changed = best < st.best in
+          let st = { best; changed; idle = (if changed then 0 else st.idle + 1) } in
+          if st.changed || st.idle <= 1 then (st, Some st.best, st.idle < n)
+          else (st, None, st.idle < n)
+  in
+  let states, stats =
+    Engine.run ?accountant ~label:"leader" ~model ~graph
+      ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
+      ~init ~step
+      ~max_supersteps:(2 * (n + 2))
+      ()
+  in
+  let leader = states.(0).best in
+  Array.iter (fun s -> assert (s.best = leader)) states;
+  { leader; rounds = stats.Engine.rounds; supersteps = stats.Engine.supersteps }

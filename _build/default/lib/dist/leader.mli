@@ -1,0 +1,22 @@
+(** Leader election by min-id flooding.
+
+    The primitive behind Algorithm 6's "declare the vertex with the highest
+    ID the leader": in the Broadcast Congested Clique one round suffices;
+    in Broadcast CONGEST the extremal id floods in diameter rounds.  We
+    elect the *minimum* id (any fixed extremum works). *)
+
+type result = {
+  leader : int;
+  rounds : int;
+  supersteps : int;
+}
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  unit ->
+  result
+(** All vertices agree on the returned leader (asserted internally).
+    @raise Invalid_argument on a unicast model or a disconnected graph
+    under the [Input_graph] topology. *)

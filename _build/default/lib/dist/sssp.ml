@@ -1,0 +1,71 @@
+module Engine = Lbcc_net.Engine
+module Graph = Lbcc_graph.Graph
+module Payload = Lbcc_net.Payload
+
+type state = {
+  sdist : float;
+  sparent : int;
+  dirty : bool; (* improved since last broadcast *)
+  idle : int; (* consecutive quiet supersteps, for local termination *)
+}
+
+type result = {
+  dist : float array;
+  parent : int array;
+  rounds : int;
+  supersteps : int;
+}
+
+let run ?accountant ~model ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Sssp.run: source out of range";
+  (* Edge weight lookup per (vertex, neighbor): in Broadcast CONGEST a
+     vertex knows the weights of its incident edges; in the clique models
+     the weight of a non-edge is irrelevant because only graph neighbors
+     relax through it — we look the edge up and skip strangers. *)
+  let weight_to = Array.make n [] in
+  Array.iteri
+    (fun _ (e : Graph.edge) ->
+      weight_to.(e.u) <- (e.v, e.w) :: weight_to.(e.u);
+      weight_to.(e.v) <- (e.u, e.w) :: weight_to.(e.v))
+    (Graph.edges graph);
+  let weight_between v u =
+    List.assoc_opt u weight_to.(v)
+  in
+  let init v =
+    if v = source then { sdist = 0.0; sparent = -1; dirty = true; idle = 0 }
+    else { sdist = infinity; sparent = -1; dirty = false; idle = 0 }
+  in
+  (* A vertex halts after [n] consecutive supersteps without improvement
+     (the synchronous-model bound on the number of relaxation phases). *)
+  let quiet_limit = n in
+  let step ~round:_ ~vertex (st : state) inbox =
+    let best = ref st in
+    List.iter
+      (fun (sender, d) ->
+        match weight_between vertex sender with
+        | Some w ->
+            if d +. w < !best.sdist -. 1e-12 then
+              best := { !best with sdist = d +. w; sparent = sender; dirty = true }
+        | None -> ())
+      inbox;
+    let st = !best in
+    if st.dirty then ({ st with dirty = false; idle = 0 }, Some st.sdist, true)
+    else begin
+      let st = { st with idle = st.idle + 1 } in
+      (st, None, st.idle < quiet_limit)
+    end
+  in
+  let states, stats =
+    Engine.run ?accountant ~label:"sssp" ~model ~graph
+      ~size_bits:(fun d -> Payload.weight_bits d)
+      ~init ~step
+      ~max_supersteps:(4 * (n + 2))
+      ()
+  in
+  {
+    dist = Array.map (fun s -> s.sdist) states;
+    parent = Array.map (fun s -> s.sparent) states;
+    rounds = stats.Engine.rounds;
+    supersteps = stats.Engine.supersteps;
+  }

@@ -1,0 +1,25 @@
+(** Distributed Bellman–Ford: weighted single-source shortest paths as a
+    vertex program in the broadcast models.
+
+    Every superstep, each vertex whose tentative distance improved
+    broadcasts it; the protocol stabilizes after at most [n - 1]
+    broadcast-CONGEST supersteps — the classical [O(n)]-round baseline the
+    paper's introduction contrasts with the [O~(sqrt n)] BCC algorithms
+    ([Nan14]) and with this repository's flow-based machinery. *)
+
+type result = {
+  dist : float array;  (** [infinity] if unreachable *)
+  parent : int array;  (** shortest-path-tree parent, [-1] at root *)
+  rounds : int;
+  supersteps : int;
+}
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result
+(** @raise Invalid_argument on a unicast model.  Distances agree with
+    {!Lbcc_graph.Paths.dijkstra} (tested). *)

@@ -1,0 +1,1 @@
+lib/flow/mcmf.ml: Array Float Heap Lbcc_util List Network Stdlib

@@ -1,0 +1,1 @@
+lib/flow/mcmf_lp.ml: Array Bits Float Lbcc_laplacian Lbcc_linalg Lbcc_lp Lbcc_net Lbcc_util Mcmf Network Prng Stdlib

@@ -1,0 +1,1 @@
+lib/flow/mcmf_lp.mli: Lbcc_linalg Lbcc_lp Lbcc_net Lbcc_util Network Prng

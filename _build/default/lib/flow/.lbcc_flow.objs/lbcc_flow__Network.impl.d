@@ -1,0 +1,1 @@
+lib/flow/network.ml: Array Float Format Hashtbl Lbcc_graph Lbcc_util List Prng Stdlib

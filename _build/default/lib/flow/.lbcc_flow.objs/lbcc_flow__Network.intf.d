@@ -1,0 +1,1 @@
+lib/flow/network.mli: Format Lbcc_graph Lbcc_util Prng

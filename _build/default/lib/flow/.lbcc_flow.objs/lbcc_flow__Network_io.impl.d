@@ -1,0 +1,1 @@
+lib/flow/network_io.ml: Array Buffer Fun List Network Printf String

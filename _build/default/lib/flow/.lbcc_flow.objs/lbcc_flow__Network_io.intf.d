@@ -1,0 +1,1 @@
+lib/flow/network_io.mli: Network

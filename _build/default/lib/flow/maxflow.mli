@@ -1,0 +1,9 @@
+(** Dinic's maximum-flow algorithm — the combinatorial reference for the
+    flow value [F] that the LP pipeline must reach. *)
+
+type result = {
+  value : int;
+  flow : float array;  (** integral values, per arc of the input network *)
+}
+
+val dinic : Network.t -> result

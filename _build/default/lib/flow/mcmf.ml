@@ -1,0 +1,108 @@
+open Lbcc_util
+
+type result = {
+  value : int;
+  cost : int;
+  flow : float array;
+}
+
+type residual = {
+  n : int;
+  heads : int array;
+  caps : int array;
+  costs : int array; (* residual costs: reverse arcs carry the negation *)
+  adj : int list array;
+}
+
+let build (net : Network.t) =
+  let m = Network.m net in
+  let heads = Array.make (2 * m) 0
+  and caps = Array.make (2 * m) 0
+  and costs = Array.make (2 * m) 0 in
+  let adj = Array.make net.Network.n [] in
+  Array.iteri
+    (fun i (a : Network.arc) ->
+      heads.(2 * i) <- a.dst;
+      caps.(2 * i) <- a.capacity;
+      costs.(2 * i) <- a.cost;
+      heads.((2 * i) + 1) <- a.src;
+      caps.((2 * i) + 1) <- 0;
+      costs.((2 * i) + 1) <- -a.cost;
+      adj.(a.src) <- (2 * i) :: adj.(a.src);
+      adj.(a.dst) <- ((2 * i) + 1) :: adj.(a.dst))
+    net.Network.arcs;
+  { n = net.Network.n; heads; caps; costs; adj }
+
+let solve (net : Network.t) =
+  Array.iter
+    (fun (a : Network.arc) ->
+      if a.cost < 0 then invalid_arg "Mcmf.solve: costs must be nonnegative")
+    net.Network.arcs;
+  let r = build net in
+  let s = net.Network.source and t = net.Network.sink in
+  let potential = Array.make r.n 0.0 in
+  let dist = Array.make r.n infinity in
+  let parent_edge = Array.make r.n (-1) in
+  let value = ref 0 and cost = ref 0 in
+  let dijkstra () =
+    Array.fill dist 0 r.n infinity;
+    Array.fill parent_edge 0 r.n (-1);
+    dist.(s) <- 0.0;
+    let heap = Heap.create () in
+    Heap.push heap 0.0 s;
+    let settled = Array.make r.n false in
+    let rec drain () =
+      match Heap.pop_min heap with
+      | None -> ()
+      | Some (d, v) ->
+          if not settled.(v) then begin
+            settled.(v) <- true;
+            List.iter
+              (fun e ->
+                if r.caps.(e) > 0 then begin
+                  let u = r.heads.(e) in
+                  let reduced =
+                    d +. float_of_int r.costs.(e) +. potential.(v) -. potential.(u)
+                  in
+                  if (not settled.(u)) && reduced < dist.(u) -. 1e-9 then begin
+                    dist.(u) <- reduced;
+                    parent_edge.(u) <- e;
+                    Heap.push heap reduced u
+                  end
+                end)
+              r.adj.(v)
+          end;
+          drain ()
+    in
+    drain ();
+    Float.is_finite dist.(t)
+  in
+  while dijkstra () do
+    for v = 0 to r.n - 1 do
+      if Float.is_finite dist.(v) then potential.(v) <- potential.(v) +. dist.(v)
+    done;
+    (* Bottleneck along the shortest path. *)
+    let rec bottleneck v acc =
+      if v = s then acc
+      else begin
+        let e = parent_edge.(v) in
+        bottleneck r.heads.(e lxor 1) (Stdlib.min acc r.caps.(e))
+      end
+    in
+    let d = bottleneck t max_int in
+    let rec augment v =
+      if v <> s then begin
+        let e = parent_edge.(v) in
+        r.caps.(e) <- r.caps.(e) - d;
+        r.caps.(e lxor 1) <- r.caps.(e lxor 1) + d;
+        cost := !cost + (d * r.costs.(e));
+        augment r.heads.(e lxor 1)
+      end
+    in
+    augment t;
+    value := !value + d
+  done;
+  let flow =
+    Array.init (Network.m net) (fun i -> float_of_int r.caps.((2 * i) + 1))
+  in
+  { value = !value; cost = !cost; flow }

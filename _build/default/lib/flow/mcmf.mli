@@ -1,0 +1,12 @@
+(** Minimum-cost maximum-flow by successive shortest paths with Johnson
+    potentials — the exact combinatorial baseline Theorem 1.1's output is
+    checked against. *)
+
+type result = {
+  value : int;  (** maximum flow value *)
+  cost : int;  (** minimum cost among maximum flows *)
+  flow : float array;  (** integral optimal flow per arc *)
+}
+
+val solve : Network.t -> result
+(** Requires nonnegative arc costs (as in Section 2.4). *)

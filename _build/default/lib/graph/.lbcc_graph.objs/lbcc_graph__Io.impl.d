@@ -1,0 +1,1 @@
+lib/graph/io.ml: Array Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Float Graph Heap Lbcc_util List Queue

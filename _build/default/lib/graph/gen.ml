@@ -1,0 +1,176 @@
+open Lbcc_util
+
+let weight prng w_max =
+  if w_max <= 1 then 1.0 else float_of_int (1 + Prng.int prng w_max)
+
+let dedupe_edges edges =
+  (* Keep the first edge per unordered endpoint pair. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (e : Graph.edge) ->
+      let key = (min e.u e.v, max e.u e.v) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    edges
+
+let erdos_renyi prng ~n ~p ~w_max =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.bernoulli prng p then
+        edges := { Graph.u; v; w = weight prng w_max } :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let random_cycle_edges prng ~n ~w_max =
+  let perm = Array.init n (fun i -> i) in
+  Prng.shuffle prng perm;
+  List.init n (fun i ->
+      { Graph.u = perm.(i); v = perm.((i + 1) mod n); w = weight prng w_max })
+
+let erdos_renyi_connected prng ~n ~p ~w_max =
+  if n < 3 then invalid_arg "Gen.erdos_renyi_connected: n must be >= 3";
+  let base = Graph.edges (erdos_renyi prng ~n ~p ~w_max) in
+  let cycle = random_cycle_edges prng ~n ~w_max in
+  Graph.create ~n (dedupe_edges (Array.to_list base @ cycle))
+
+let complete ?(w_max = 1) prng ~n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := { Graph.u; v; w = weight prng w_max } :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let ring ?(w_max = 1) prng ~n =
+  if n < 3 then invalid_arg "Gen.ring: n must be >= 3";
+  Graph.create ~n
+    (List.init n (fun i -> { Graph.u = i; v = (i + 1) mod n; w = weight prng w_max }))
+
+let grid ?(w_max = 1) prng ~rows ~cols =
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        edges := { Graph.u = idx r c; v = idx r (c + 1); w = weight prng w_max } :: !edges;
+      if r + 1 < rows then
+        edges := { Graph.u = idx r c; v = idx (r + 1) c; w = weight prng w_max } :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let torus ?(w_max = 1) prng ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need rows, cols >= 3";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges :=
+        { Graph.u = idx r c; v = idx r ((c + 1) mod cols); w = weight prng w_max }
+        :: { Graph.u = idx r c; v = idx ((r + 1) mod rows) c; w = weight prng w_max }
+        :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let clique_edges prng ~offset ~size ~w_max =
+  let edges = ref [] in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      edges := { Graph.u = offset + u; v = offset + v; w = weight prng w_max } :: !edges
+    done
+  done;
+  !edges
+
+let barbell ?(w_max = 1) prng ~clique ~path =
+  if clique < 2 then invalid_arg "Gen.barbell: clique must be >= 2";
+  if path < 1 then invalid_arg "Gen.barbell: path must be >= 1";
+  let n = (2 * clique) + path - 1 in
+  let left = clique_edges prng ~offset:0 ~size:clique ~w_max in
+  let right = clique_edges prng ~offset:(clique + path - 1) ~size:clique ~w_max in
+  (* Path from vertex clique-1 through path-1 internal vertices to the
+     second clique's first vertex. *)
+  let path_edges =
+    List.init path (fun i ->
+        { Graph.u = clique - 1 + i; v = clique + i; w = weight prng w_max })
+  in
+  Graph.create ~n (left @ right @ path_edges)
+
+let random_geometric prng ~n ~radius ~w_max =
+  let pts = Array.init n (fun _ -> (Prng.float prng, Prng.float prng)) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let x1, y1 = pts.(u) and x2, y2 = pts.(v) in
+      let d = sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0)) in
+      if d <= radius then edges := { Graph.u; v; w = weight prng w_max } :: !edges
+    done
+  done;
+  let g = Graph.create ~n !edges in
+  if Graph.is_connected g then g
+  else begin
+    (* Stitch components along a random cycle so experiments always run on
+       connected inputs. *)
+    let cycle = random_cycle_edges prng ~n ~w_max in
+    Graph.create ~n (dedupe_edges (!edges @ cycle))
+  end
+
+let preferential_attachment prng ~n ~degree ~w_max =
+  if degree < 1 then invalid_arg "Gen.preferential_attachment: degree >= 1";
+  if n <= degree then invalid_arg "Gen.preferential_attachment: n must exceed degree";
+  let targets = ref [] in
+  (* endpoint multiset for preferential sampling *)
+  let endpoints = ref [] and n_endpoints = ref 0 in
+  let edges = ref [] in
+  let seed_size = degree + 1 in
+  for u = 0 to seed_size - 1 do
+    for v = u + 1 to seed_size - 1 do
+      edges := { Graph.u; v; w = weight prng w_max } :: !edges;
+      endpoints := u :: v :: !endpoints;
+      n_endpoints := !n_endpoints + 2
+    done
+  done;
+  let endpoint_arr = ref (Array.of_list !endpoints) in
+  for v = seed_size to n - 1 do
+    targets := [];
+    let chosen = Hashtbl.create 8 in
+    while Hashtbl.length chosen < degree do
+      let t = !endpoint_arr.(Prng.int prng (Array.length !endpoint_arr)) in
+      if not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        edges := { Graph.u = v; v = t; w = weight prng w_max } :: !edges;
+        endpoints := v :: t :: !endpoints)
+      chosen;
+    endpoint_arr := Array.of_list !endpoints
+  done;
+  Graph.create ~n !edges
+
+let random_regularish prng ~n ~degree ~w_max =
+  if degree < 2 then invalid_arg "Gen.random_regularish: degree >= 2";
+  let cycles = Stdlib.max 1 (degree / 2) in
+  let edges = ref [] in
+  for _ = 1 to cycles do
+    edges := random_cycle_edges prng ~n ~w_max @ !edges
+  done;
+  Graph.create ~n (dedupe_edges !edges)
+
+let dumbbell_expander prng ~n ~w_max =
+  if n < 8 then invalid_arg "Gen.dumbbell_expander: n must be >= 8";
+  let half = n / 2 in
+  let left = random_regularish prng ~n:half ~degree:4 ~w_max in
+  let right = random_regularish prng ~n:(n - half) ~degree:4 ~w_max in
+  let shift (e : Graph.edge) = { e with u = e.u + half; v = e.v + half } in
+  let edges =
+    Array.to_list (Graph.edges left)
+    @ List.map shift (Array.to_list (Graph.edges right))
+    @ [ { Graph.u = 0; v = half; w = weight prng w_max } ]
+  in
+  Graph.create ~n edges

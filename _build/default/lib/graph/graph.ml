@@ -1,0 +1,161 @@
+module Sparse = Lbcc_linalg.Sparse
+module Dense = Lbcc_linalg.Dense
+module Vec = Lbcc_linalg.Vec
+
+type edge = { u : int; v : int; w : float }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adjacency : (int * int) list array; (* per vertex: (neighbor, edge id) *)
+}
+
+let check_edge n e =
+  if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+    invalid_arg (Printf.sprintf "Graph.create: endpoint out of range (%d,%d)" e.u e.v);
+  if e.u = e.v then invalid_arg "Graph.create: self-loop";
+  if e.w <= 0.0 || not (Float.is_finite e.w) then
+    invalid_arg "Graph.create: weights must be positive and finite"
+
+let of_edge_array ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  Array.iter (check_edge n) edges;
+  let adjacency = Array.make n [] in
+  Array.iteri
+    (fun id e ->
+      adjacency.(e.u) <- (e.v, id) :: adjacency.(e.u);
+      adjacency.(e.v) <- (e.u, id) :: adjacency.(e.v))
+    edges;
+  { n; edges; adjacency }
+
+let create ~n edges = of_edge_array ~n (Array.of_list edges)
+
+let n g = g.n
+let m g = Array.length g.edges
+let edges g = g.edges
+let edge g id = g.edges.(id)
+let neighbors g v = g.adjacency.(v)
+let degree g v = List.length g.adjacency.(v)
+
+let total_weight g = Array.fold_left (fun acc e -> acc +. e.w) 0.0 g.edges
+
+let max_weight g = Array.fold_left (fun acc e -> Float.max acc e.w) 0.0 g.edges
+
+let min_weight g = Array.fold_left (fun acc e -> Float.min acc e.w) infinity g.edges
+
+let other_endpoint e v =
+  if e.u = v then e.v
+  else if e.v = v then e.u
+  else invalid_arg "Graph.other_endpoint: vertex not an endpoint"
+
+let map_weights f g =
+  let edges = Array.mapi (fun id e -> { e with w = f id e }) g.edges in
+  of_edge_array ~n:g.n edges
+
+let sub_edges g ids =
+  let edges = List.map (fun id -> g.edges.(id)) ids in
+  create ~n:g.n edges
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: vertex count mismatch";
+  of_edge_array ~n:a.n (Array.append a.edges b.edges)
+
+let coalesce g =
+  let tbl = Hashtbl.create (m g) in
+  Array.iter
+    (fun e ->
+      let key = (Stdlib.min e.u e.v, Stdlib.max e.u e.v) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (prev +. e.w))
+    g.edges;
+  let edges =
+    Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
+    |> List.sort compare
+  in
+  create ~n:g.n edges
+
+let laplacian g =
+  let triplets =
+    Array.to_list g.edges
+    |> List.concat_map (fun e ->
+           [
+             (e.u, e.u, e.w);
+             (e.v, e.v, e.w);
+             (e.u, e.v, -.e.w);
+             (e.v, e.u, -.e.w);
+           ])
+  in
+  Sparse.of_triplets ~rows:g.n ~cols:g.n triplets
+
+let laplacian_dense g =
+  let d = Dense.create g.n g.n in
+  Array.iter
+    (fun e ->
+      Dense.add_entry d e.u e.u e.w;
+      Dense.add_entry d e.v e.v e.w;
+      Dense.add_entry d e.u e.v (-.e.w);
+      Dense.add_entry d e.v e.u (-.e.w))
+    g.edges;
+  d
+
+let incidence g =
+  let triplets =
+    Array.to_list g.edges
+    |> List.mapi (fun id e -> [ (id, e.v, 1.0); (id, e.u, -1.0) ])
+    |> List.concat
+  in
+  Sparse.of_triplets ~rows:(m g) ~cols:g.n triplets
+
+let weight_vector g = Array.map (fun e -> e.w) g.edges
+
+let apply_laplacian g x =
+  if Vec.dim x <> g.n then invalid_arg "Graph.apply_laplacian: dimension mismatch";
+  let y = Vec.zeros g.n in
+  Array.iter
+    (fun e ->
+      let d = e.w *. (x.(e.u) -. x.(e.v)) in
+      y.(e.u) <- y.(e.u) +. d;
+      y.(e.v) <- y.(e.v) -. d)
+    g.edges;
+  y
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let count = ref 0 in
+  let stack = Stack.create () in
+  for s = 0 to g.n - 1 do
+    if comp.(s) < 0 then begin
+      comp.(s) <- !count;
+      Stack.push s stack;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        List.iter
+          (fun (u, _) ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- !count;
+              Stack.push u stack
+            end)
+          g.adjacency.(v)
+      done;
+      incr count
+    end
+  done;
+  (comp, !count)
+
+let is_connected g = g.n <= 1 || snd (components g) = 1
+
+let canonical_edge e = if e.u <= e.v then (e.u, e.v, e.w) else (e.v, e.u, e.w)
+
+let equal_structure a b =
+  a.n = b.n
+  && m a = m b
+  &&
+  let ka = Array.map canonical_edge a.edges and kb = Array.map canonical_edge b.edges in
+  Array.sort compare ka;
+  Array.sort compare kb;
+  ka = kb
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  Array.iteri (fun id e -> Format.fprintf ppf "e%d: %d-%d w=%g@," id e.u e.v e.w) g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,80 @@
+(** Weighted undirected graphs.
+
+    Vertices are [0 .. n-1]; edges carry positive real weights and have
+    stable integer identifiers [0 .. m-1].  Parallel edges and reweighting
+    are allowed (sparsifiers reweight); self-loops are rejected. *)
+
+type edge = { u : int; v : int; w : float }
+
+type t
+
+val create : n:int -> edge list -> t
+(** @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    non-positive weights. *)
+
+val of_edge_array : n:int -> edge array -> t
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> edge array
+(** The edge array, indexed by edge identifier.  Do not mutate. *)
+
+val edge : t -> int -> edge
+
+val neighbors : t -> int -> (int * int) list
+(** [neighbors g v] lists [(u, edge_id)] pairs for edges incident to [v]. *)
+
+val degree : t -> int -> int
+
+val total_weight : t -> float
+val max_weight : t -> float
+val min_weight : t -> float
+
+val other_endpoint : edge -> int -> int
+(** [other_endpoint e v] is the endpoint of [e] that is not [v].
+    @raise Invalid_argument if [v] is not an endpoint. *)
+
+val map_weights : (int -> edge -> float) -> t -> t
+(** [map_weights f g] replaces the weight of edge [id] by [f id (edge g id)]. *)
+
+val sub_edges : t -> int list -> t
+(** Subgraph on the same vertex set keeping only the listed edge ids
+    (re-indexed). *)
+
+val union : t -> t -> t
+(** Disjoint union of edge sets over the same vertex set. *)
+
+val coalesce : t -> t
+(** Merge parallel edges by summing their weights — spectrally equivalent
+    (Laplacians add) and required by consumers that assume simple graphs
+    (the spanner algorithm). *)
+
+val laplacian : t -> Lbcc_linalg.Sparse.t
+(** The [n x n] graph Laplacian [L = B^T W B]. *)
+
+val laplacian_dense : t -> Lbcc_linalg.Dense.t
+
+val incidence : t -> Lbcc_linalg.Sparse.t
+(** Edge-vertex incidence matrix [B] ([m x n]): row [e] has [+1] at the head
+    [v] and [-1] at the tail [u] (orientation [u -> v] by edge record). *)
+
+val weight_vector : t -> Lbcc_linalg.Vec.t
+(** Vector of edge weights indexed by edge identifier. *)
+
+val apply_laplacian : t -> Lbcc_linalg.Vec.t -> Lbcc_linalg.Vec.t
+(** Matrix-free [L x] in [O(m)]. *)
+
+val components : t -> int array * int
+(** [(comp, count)] where [comp.(v)] is the component index of [v]. *)
+
+val is_connected : t -> bool
+
+val equal_structure : t -> t -> bool
+(** Same vertex count and same multiset of [(u, v, w)] (up to endpoint
+    order and float equality); used by tests. *)
+
+val pp : Format.formatter -> t -> unit

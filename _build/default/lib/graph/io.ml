@@ -1,0 +1,88 @@
+let write_graph oc g =
+  Printf.fprintf oc "c laplacian_bcc graph\n";
+  Printf.fprintf oc "p graph %d %d\n" (Graph.n g) (Graph.m g);
+  Array.iter
+    (fun (e : Graph.edge) -> Printf.fprintf oc "e %d %d %.17g\n" e.u e.v e.w)
+    (Graph.edges g)
+
+let graph_to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "c laplacian_bcc graph\n";
+  Buffer.add_string buf (Printf.sprintf "p graph %d %d\n" (Graph.n g) (Graph.m g));
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d %.17g\n" e.u e.v e.w))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let parse_lines lines =
+  let n = ref (-1) and expected_m = ref (-1) in
+  let edges = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let fail msg = failwith (Printf.sprintf "Io.read_graph: line %d: %s" lineno msg) in
+      let line = String.trim line in
+      if line = "" then ()
+      else
+        match line.[0] with
+        | 'c' -> ()
+        | 'p' -> (
+            match String.split_on_char ' ' line with
+            | [ "p"; "graph"; ns; ms ] -> (
+                match (int_of_string_opt ns, int_of_string_opt ms) with
+                | Some nv, Some mv ->
+                    n := nv;
+                    expected_m := mv
+                | _ -> fail "bad problem line")
+            | _ -> fail "bad problem line")
+        | 'e' -> (
+            if !n < 0 then fail "edge before problem line";
+            match String.split_on_char ' ' line with
+            | [ "e"; us; vs; ws ] -> (
+                match
+                  (int_of_string_opt us, int_of_string_opt vs, float_of_string_opt ws)
+                with
+                | Some u, Some v, Some w -> edges := { Graph.u; v; w } :: !edges
+                | _ -> fail "bad edge line")
+            | _ -> fail "bad edge line")
+        | _ -> fail "unknown line kind")
+    lines;
+  if !n < 0 then failwith "Io.read_graph: missing problem line";
+  let edges = List.rev !edges in
+  if !expected_m >= 0 && List.length edges <> !expected_m then
+    failwith
+      (Printf.sprintf "Io.read_graph: expected %d edges, found %d" !expected_m
+         (List.length edges));
+  Graph.create ~n:!n edges
+
+let read_all_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let read_graph ic = parse_lines (read_all_lines ic)
+
+let graph_of_string s = parse_lines (String.split_on_char '\n' s)
+
+let save_graph path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_graph oc g)
+
+let load_graph path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_graph ic)
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%g\"];\n" e.u e.v e.w))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Plain-text serialization for graphs and DOT export.
+
+    The format is a DIMACS-flavoured line protocol:
+
+    {v
+    c comment
+    p graph <n> <m>
+    e <u> <v> <w>
+    v}
+
+    Vertices are 0-based; weights are decimal.  Parsing is strict: malformed
+    lines raise with the offending line number. *)
+
+val write_graph : out_channel -> Graph.t -> unit
+val graph_to_string : Graph.t -> string
+
+val read_graph : in_channel -> Graph.t
+(** @raise Failure on malformed input. *)
+
+val graph_of_string : string -> Graph.t
+
+val save_graph : string -> Graph.t -> unit
+(** Write to a file path. *)
+
+val load_graph : string -> Graph.t
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz rendering (undirected, weight-labelled). *)

@@ -1,0 +1,1 @@
+lib/laplacian/exact.ml: Array Float Lbcc_graph Lbcc_linalg List

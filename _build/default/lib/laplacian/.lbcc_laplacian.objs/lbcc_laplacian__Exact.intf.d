@@ -1,0 +1,1 @@
+lib/laplacian/exact.mli: Lbcc_graph Lbcc_linalg

@@ -1,0 +1,1 @@
+lib/laplacian/gremban.ml: Array Exact Float Lbcc_graph Lbcc_linalg

@@ -1,0 +1,1 @@
+lib/laplacian/gremban.mli: Lbcc_graph Lbcc_linalg

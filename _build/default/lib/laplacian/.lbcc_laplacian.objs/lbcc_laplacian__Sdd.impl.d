@@ -1,0 +1,1 @@
+lib/laplacian/sdd.ml: Array Float Gremban Lbcc_graph Lbcc_linalg Solver

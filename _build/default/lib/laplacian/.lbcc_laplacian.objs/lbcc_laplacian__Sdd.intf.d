@@ -1,0 +1,1 @@
+lib/laplacian/sdd.mli: Lbcc_linalg Lbcc_net Lbcc_util

@@ -1,0 +1,1 @@
+lib/laplacian/solver.ml: Bits Exact Float Lbcc_graph Lbcc_linalg Lbcc_net Lbcc_sparsifier Lbcc_util Prng

@@ -1,0 +1,1 @@
+lib/laplacian/solver.mli: Lbcc_graph Lbcc_linalg Lbcc_net Lbcc_util Prng

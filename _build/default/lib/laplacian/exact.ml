@@ -1,0 +1,75 @@
+module Vec = Lbcc_linalg.Vec
+module Dense = Lbcc_linalg.Dense
+module Graph = Lbcc_graph.Graph
+
+(* One factored block per connected component: the component's vertices and
+   the LU factorization of its Laplacian with the first vertex pinned.
+   The reduced matrix is SPD; pivoted LU is used rather than Cholesky
+   because callers (the IPM) produce weights spanning many orders of
+   magnitude, where Cholesky's positivity test fails before LU's pivoting
+   does. *)
+type block = {
+  vertices : int array; (* component members; vertices.(0) is pinned *)
+  factorization : Dense.factorization option; (* None for singletons *)
+}
+
+type t = { n : int; blocks : block list }
+
+let factor g =
+  let n = Graph.n g in
+  if n < 1 then invalid_arg "Exact.factor: empty graph";
+  let l = Graph.laplacian_dense g in
+  let comp, count = Graph.components g in
+  let members = Array.make count [] in
+  for v = n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  let blocks =
+    Array.to_list members
+    |> List.map (fun vs ->
+           let vertices = Array.of_list vs in
+           let k = Array.length vertices in
+           if k = 1 then { vertices; factorization = None }
+           else begin
+             let reduced =
+               Dense.init (k - 1) (k - 1) (fun i j ->
+                   Dense.get l vertices.(i + 1) vertices.(j + 1))
+             in
+             { vertices; factorization = Some (Dense.factorize reduced) }
+           end)
+  in
+  { n; blocks }
+
+let solve t b =
+  if Vec.dim b <> t.n then invalid_arg "Exact.solve: dimension mismatch";
+  let scale = Float.max 1.0 (Vec.norm_inf b) in
+  let x = Array.make t.n 0.0 in
+  List.iter
+    (fun block ->
+      let k = Array.length block.vertices in
+      let total = Array.fold_left (fun acc v -> acc +. b.(v)) 0.0 block.vertices in
+      if Float.abs total > 1e-6 *. scale *. float_of_int k then
+        invalid_arg "Exact.solve: right-hand side must have zero sum per component";
+      match block.factorization with
+      | None -> ()
+      | Some f ->
+          let rhs = Array.init (k - 1) (fun i -> b.(block.vertices.(i + 1))) in
+          let sol = Dense.solve_factored f rhs in
+          (* Mean-center within the component. *)
+          let mean = Array.fold_left ( +. ) 0.0 sol /. float_of_int k in
+          x.(block.vertices.(0)) <- -.mean;
+          for i = 0 to k - 2 do
+            x.(block.vertices.(i + 1)) <- sol.(i) -. mean
+          done)
+    t.blocks;
+  x
+
+let solve_graph g b = solve (factor g) b
+
+let laplacian_norm g x =
+  let q = Vec.dot x (Graph.apply_laplacian g x) in
+  sqrt (Float.max 0.0 q)
+
+let residual g ~x ~b =
+  let r = Vec.sub b (Graph.apply_laplacian g x) in
+  Vec.norm2 r /. Float.max (Vec.norm2 b) 1e-300

@@ -1,0 +1,33 @@
+(** Exact (direct) Laplacian solving by pinning and dense Cholesky.
+
+    [L] of a connected graph has nullspace [span(1)]; pinning vertex 0
+    (deleting its row and column) leaves an SPD system.  Used for the
+    vertex-internal solves of the distributed algorithms (simulated vertices
+    have unlimited local computation and know the whole sparsifier) and as
+    the reference in tests.
+
+    All solves require a right-hand side with (numerically) zero sum —
+    otherwise [L x = b] has no solution — and return the solution with zero
+    mean. *)
+
+module Vec = Lbcc_linalg.Vec
+module Graph = Lbcc_graph.Graph
+
+type t
+(** A factored Laplacian. *)
+
+val factor : Graph.t -> t
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve t b] returns the per-component-zero-mean [x] with [L x = b].
+    @raise Invalid_argument if [b] has non-negligible sum on some
+    component. *)
+
+val solve_graph : Graph.t -> Vec.t -> Vec.t
+(** One-shot [factor] + [solve]. *)
+
+val laplacian_norm : Graph.t -> Vec.t -> float
+(** [||x||_{L} = sqrt (x^T L x)]. *)
+
+val residual : Graph.t -> x:Vec.t -> b:Vec.t -> float
+(** [||b - L x||_2 / ||b||_2]. *)

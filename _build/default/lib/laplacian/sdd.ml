@@ -1,0 +1,44 @@
+module Vec = Lbcc_linalg.Vec
+module Dense = Lbcc_linalg.Dense
+module Graph = Lbcc_graph.Graph
+
+type t = {
+  matrix : Dense.t;
+  n : int;
+  solver : Solver.t;
+}
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  rounds : int;
+  residual : float;
+}
+
+let preprocess ?accountant ?t ?k ~prng m =
+  let vg = Gremban.virtual_graph m in
+  if not (Graph.is_connected vg) then
+    invalid_arg "Sdd.preprocess: virtual graph is disconnected; solve blockwise";
+  let solver = Solver.preprocess ?accountant ?t ?k ~prng ~graph:vg () in
+  { matrix = m; n = Dense.rows m; solver }
+
+let solve ?accountant t ~y ~eps =
+  if Vec.dim y <> t.n then invalid_arg "Sdd.solve: dimension mismatch";
+  let b = Array.init (2 * t.n) (fun i -> if i < t.n then y.(i) else -.y.(i - t.n)) in
+  let r = Solver.solve ?accountant t.solver ~b ~eps in
+  let x12 = r.Solver.solution in
+  let x = Array.init t.n (fun i -> (x12.(i) -. x12.(t.n + i)) /. 2.0) in
+  let residual =
+    Vec.norm2 (Vec.sub y (Dense.matvec t.matrix x))
+    /. Float.max (Vec.norm2 y) 1e-300
+  in
+  (* Each virtual round is simulated by two real rounds (Lemma 5.1). *)
+  {
+    solution = x;
+    iterations = r.Solver.iterations;
+    rounds = 2 * r.Solver.rounds;
+    residual;
+  }
+
+let solve_once ?accountant ~prng m ~y ~eps =
+  solve ?accountant (preprocess ?accountant ~prng m) ~y ~eps

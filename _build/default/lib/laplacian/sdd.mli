@@ -1,0 +1,46 @@
+(** High-level SDD solving in the Broadcast Congested Clique.
+
+    Combines Gremban's reduction with the Theorem 1.3 Laplacian solver:
+    the "standard reduction from SDD systems to Laplacian systems, which
+    also applies in the Broadcast Congested Clique" used by Theorem 1.1's
+    proof (Section 5).  Each real vertex simulates its two virtual copies,
+    doubling the round count. *)
+
+module Vec = Lbcc_linalg.Vec
+module Dense = Lbcc_linalg.Dense
+
+type t
+(** A preprocessed SDD system (virtual graph sparsified and factored). *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  rounds : int;  (** rounds charged for this solve (virtual rounds x2) *)
+  residual : float;  (** measured [||y - M x|| / ||y||] *)
+}
+
+val preprocess :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?t:int ->
+  ?k:int ->
+  prng:Lbcc_util.Prng.t ->
+  Dense.t ->
+  t
+(** [preprocess m] for a symmetric diagonally dominant [m] with nonpositive
+    off-diagonal entries and at least one vertex of positive slack.
+    @raise Invalid_argument if [m] is not SDD with nonpositive
+    off-diagonals, or if the reduction yields a disconnected virtual graph
+    (solve such systems blockwise). *)
+
+val solve :
+  ?accountant:Lbcc_net.Rounds.t -> t -> y:Vec.t -> eps:float -> result
+(** [solve t ~y ~eps] returns [x] with [M x ≈ y]. *)
+
+val solve_once :
+  ?accountant:Lbcc_net.Rounds.t ->
+  prng:Lbcc_util.Prng.t ->
+  Dense.t ->
+  y:Vec.t ->
+  eps:float ->
+  result
+(** One-shot [preprocess] + [solve]. *)

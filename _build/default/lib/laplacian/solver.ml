@@ -1,0 +1,108 @@
+open Lbcc_util
+module Vec = Lbcc_linalg.Vec
+module Chebyshev = Lbcc_linalg.Chebyshev
+module Graph = Lbcc_graph.Graph
+module Rounds = Lbcc_net.Rounds
+module Model = Lbcc_net.Model
+module Sparsify = Lbcc_sparsifier.Sparsify
+module Certify = Lbcc_sparsifier.Certify
+
+type t = {
+  graph : Graph.t;
+  sparsifier : Graph.t;
+  h_factor : Exact.t;
+  kappa : float;
+  lambda_max : float; (* of the pencil (L_G, L_H): scale for the preconditioner *)
+  preprocessing_rounds : int;
+  bandwidth : int;
+}
+
+type solve_result = {
+  solution : Vec.t;
+  iterations : int;
+  rounds : int;
+  residual : float;
+}
+
+let preprocess ?accountant ?t ?t_scale ?k ?certify ~prng ~graph () =
+  if not (Graph.is_connected graph) then
+    invalid_arg "Solver.preprocess: graph must be connected";
+  let n = Graph.n graph in
+  let bandwidth = Model.bandwidth ~n in
+  let acc =
+    match accountant with Some a -> a | None -> Rounds.create ~bandwidth
+  in
+  let start = Rounds.checkpoint acc in
+  let sp =
+    Sparsify.run ~accountant:acc ?t ?t_scale ?k ~prng ~graph ~epsilon:0.5 ()
+  in
+  let h = sp.Sparsify.sparsifier in
+  (* The sparsifier preserves connectivity of the input (each bundle begins
+     with a spanner of the surviving edges), so factoring cannot fail. *)
+  let h_factor = Exact.factor h in
+  let certify =
+    match certify with
+    | Some c -> c
+    | None -> if n <= 400 then `Exact else `Power 60
+  in
+  let cert =
+    match certify with
+    | `Exact -> Certify.exact graph h
+    | `Power iters -> Certify.power (Prng.split prng) graph h ~iters
+    | `Probe s -> Certify.probe (Prng.split prng) graph h ~samples:s
+  in
+  (* Rescale the preconditioner so the pencil (L_G, B) has top eigenvalue
+     exactly 1: B := lambda_max * L_H, kappa := lambda_max / lambda_min.
+     (With the paper's eps_H = 1/2 this is the kappa = 3 of Cor. 2.4.)
+     Power/probe certificates approximate the extremes from inside, so
+     widen them before trusting A <= B. *)
+  let margin = match certify with `Exact -> 1.0 | `Power _ | `Probe _ -> 1.15 in
+  let lambda_min = Float.max (cert.Certify.lambda_min /. margin) 1e-12 in
+  let lambda_max = Float.max (cert.Certify.lambda_max *. margin) lambda_min in
+  let kappa = Float.max 1.0 (lambda_max /. lambda_min) *. 1.05 in
+  {
+    graph;
+    sparsifier = h;
+    h_factor;
+    kappa;
+    lambda_max;
+    preprocessing_rounds = Rounds.checkpoint acc - start;
+    bandwidth;
+  }
+
+let graph t = t.graph
+let sparsifier t = t.sparsifier
+let kappa t = t.kappa
+let preprocessing_rounds t = t.preprocessing_rounds
+
+let solve ?accountant t ~b ~eps =
+  if eps <= 0.0 then invalid_arg "Solver.solve: eps must be positive";
+  let acc =
+    match accountant with
+    | Some a -> a
+    | None -> Rounds.create ~bandwidth:t.bandwidth
+  in
+  let start = Rounds.checkpoint acc in
+  (* Each Chebyshev iteration: one distributed L_G-matvec (a vector
+     exchange: every vertex broadcasts its O(log(nU/eps))-bit coordinate)
+     and one vertex-internal L_H solve (free). *)
+  let matvec x =
+    Rounds.charge_vector acc ~label:"laplacian-matvec" ~entry_bits:(Bits.float_bits ());
+    Graph.apply_laplacian t.graph x
+  in
+  let solve_b r =
+    (* B = lambda_max * L_H; solving B z = r needs zero-sum r: residuals of
+       Laplacian systems with zero-sum b stay zero-sum. *)
+    Vec.scale (1.0 /. t.lambda_max) (Exact.solve t.h_factor (Vec.mean_center r))
+  in
+  let result =
+    Chebyshev.solve ~matvec ~solve_b ~kappa:t.kappa ~eps ~b ()
+  in
+  {
+    solution = result.Chebyshev.solution;
+    iterations = result.Chebyshev.iterations;
+    rounds = Rounds.checkpoint acc - start;
+    residual = Exact.residual t.graph ~x:result.Chebyshev.solution ~b;
+  }
+
+let solve_exact_fallback t ~b = Exact.solve_graph t.graph b

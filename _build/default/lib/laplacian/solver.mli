@@ -1,0 +1,57 @@
+(** The Broadcast Congested Clique Laplacian solver (Theorem 1.3).
+
+    Preprocessing computes a spectral sparsifier [H] of [G] (every vertex
+    then knows all of [H], so solves in [L_H] are vertex-internal) and a
+    certified relative-condition bound [kappa] of the pencil
+    [(L_G, (1+eps_H) L_H)].  Each [solve ~b ~eps] then runs preconditioned
+    Chebyshev (Corollary 2.4): [O(sqrt(kappa) log(1/eps))] iterations, each
+    one distributed [L_G]-matvec — a single vector exchange charged
+    [O(log(nU/eps))] bits per vertex — plus an internal [L_H] solve.
+
+    The paper fixes the sparsifier quality at [eps_H = 1/2] so
+    [kappa = 3]; with calibrated bundle sizes (DESIGN.md, substitution 3)
+    the achieved [eps_H] is measured and [kappa] set from the certificate,
+    so the error guarantee always holds. *)
+
+open Lbcc_util
+module Vec = Lbcc_linalg.Vec
+module Graph = Lbcc_graph.Graph
+
+type t
+
+type solve_result = {
+  solution : Vec.t;
+  iterations : int;
+  rounds : int;  (** rounds charged for this solve *)
+  residual : float;  (** measured [||b - L_G y||_2 / ||b||_2] *)
+}
+
+val preprocess :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?t:int ->
+  ?t_scale:float ->
+  ?k:int ->
+  ?certify:[ `Exact | `Power of int | `Probe of int ] ->
+  prng:Prng.t ->
+  graph:Graph.t ->
+  unit ->
+  t
+(** Sparsify, factor [L_H], certify [kappa].  [certify] selects the exact
+    eigen certificate (default for [n <= 400]), power iteration on the
+    pencil (default above, tight and [O(n^3)]-free per step), or cheap
+    randomized probing.
+    @raise Invalid_argument if [graph] is not connected. *)
+
+val graph : t -> Graph.t
+val sparsifier : t -> Graph.t
+val kappa : t -> float
+val preprocessing_rounds : t -> int
+
+val solve :
+  ?accountant:Lbcc_net.Rounds.t -> t -> b:Vec.t -> eps:float -> solve_result
+(** [solve t ~b ~eps] returns [y] with [||x - y||_{L_G} <= eps ||x||_{L_G}]
+    for the true solution [x] (guaranteed by the Chebyshev bound with the
+    certified [kappa]).  [b] must have zero sum. *)
+
+val solve_exact_fallback : t -> b:Vec.t -> Vec.t
+(** Direct dense solve of [L_G x = b], for reference comparisons. *)

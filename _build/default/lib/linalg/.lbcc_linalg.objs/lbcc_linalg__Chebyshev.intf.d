@@ -1,0 +1,1 @@
+lib/linalg/chebyshev.mli: Vec

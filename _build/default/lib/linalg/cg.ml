@@ -1,0 +1,43 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let solve_preconditioned ?x0 ?max_iter ?(tol = 1e-10) ~matvec ~precond ~b () =
+  let n = Vec.dim b in
+  let max_iter = match max_iter with Some m -> m | None -> 10 * Stdlib.max n 1 in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let r = Vec.sub b (matvec x) in
+  let z = precond r in
+  let p = Vec.copy z in
+  let rz = ref (Vec.dot r z) in
+  let bnorm = Float.max (Vec.norm2 b) 1e-300 in
+  let iterations = ref 0 in
+  let finished () = Vec.norm2 r <= tol *. bnorm in
+  while (not (finished ())) && !iterations < max_iter do
+    incr iterations;
+    let ap = matvec p in
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then
+      (* Stall on numerically indefinite directions rather than diverging. *)
+      iterations := max_iter
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) ap r;
+      let z = precond r in
+      let rz' = Vec.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done
+    end
+  done;
+  let res = Vec.norm2 r in
+  { solution = x; iterations = !iterations; residual_norm = res; converged = res <= tol *. bnorm }
+
+let solve ?x0 ?max_iter ?tol ~matvec ~b () =
+  solve_preconditioned ?x0 ?max_iter ?tol ~matvec ~precond:Vec.copy ~b ()

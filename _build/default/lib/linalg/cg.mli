@@ -1,0 +1,34 @@
+(** Conjugate gradient over an abstract matvec operator.
+
+    Used internally by simulated vertices (which have unlimited local
+    computation) and as a reference solver in tests. *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float; (* final ||b - A x||_2 *)
+  converged : bool;
+}
+
+val solve :
+  ?x0:Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  unit ->
+  result
+(** Plain CG for an SPD (or PSD with [b] in the range) operator.
+    Stops when [||r||_2 <= tol * ||b||_2] or after [max_iter] iterations
+    (default [10 * dim]). *)
+
+val solve_preconditioned :
+  ?x0:Vec.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Vec.t -> Vec.t) ->
+  precond:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  unit ->
+  result
+(** Preconditioned CG; [precond] applies an approximation of [A^+]. *)

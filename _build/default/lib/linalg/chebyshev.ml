@@ -1,0 +1,57 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+}
+
+let iterations_bound ~kappa ~eps =
+  if kappa < 1.0 then invalid_arg "Chebyshev.iterations_bound: kappa < 1";
+  if eps <= 0.0 then invalid_arg "Chebyshev.iterations_bound: eps <= 0";
+  1 + int_of_float (Float.ceil (sqrt kappa *. log (2.0 /. eps)))
+
+(* Preconditioned Chebyshev (Saad, "Iterative methods for sparse linear
+   systems", Algorithm 12.1, preconditioned variant).  The eigenvalues of
+   B^{-1}A lie in [1/kappa, 1]. *)
+let run ?x0 ~matvec ~solve_b ~kappa ~b ~iters ~stop () =
+  let n = Vec.dim b in
+  let lmin = 1.0 /. kappa and lmax = 1.0 in
+  let theta = (lmax +. lmin) /. 2.0 in
+  let delta = (lmax -. lmin) /. 2.0 in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  let r = ref (Vec.sub b (matvec x)) in
+  let z = solve_b !r in
+  let d = ref (Vec.scale (1.0 /. theta) z) in
+  let sigma1 = theta /. delta in
+  let rho_prev = ref (1.0 /. sigma1) in
+  let bnorm = Float.max (Vec.norm2 b) 1e-300 in
+  let k = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !k < iters do
+    incr k;
+    Vec.axpy 1.0 !d x;
+    r := Vec.sub b (matvec x);
+    if stop (Vec.norm2 !r /. bnorm) then continue_ := false
+    else begin
+      let z = solve_b !r in
+      let rho = 1.0 /. ((2.0 *. sigma1) -. !rho_prev) in
+      let coeff_d = rho *. !rho_prev in
+      let coeff_z = 2.0 *. rho /. delta in
+      d := Vec.add (Vec.scale coeff_d !d) (Vec.scale coeff_z z);
+      rho_prev := rho
+    end
+  done;
+  { solution = x; iterations = !k; residual_norm = Vec.norm2 !r /. bnorm }
+
+let solve ?x0 ?max_iter ~matvec ~solve_b ~kappa ~eps ~b () =
+  let iters =
+    match max_iter with Some m -> m | None -> iterations_bound ~kappa ~eps
+  in
+  run ?x0 ~matvec ~solve_b ~kappa ~b ~iters ~stop:(fun _ -> false) ()
+
+let solve_adaptive ?x0 ?max_iter ~matvec ~solve_b ~kappa ~rtol ~b () =
+  let iters =
+    match max_iter with
+    | Some m -> m
+    | None -> 4 * iterations_bound ~kappa ~eps:rtol
+  in
+  run ?x0 ~matvec ~solve_b ~kappa ~b ~iters ~stop:(fun res -> res <= rtol) ()

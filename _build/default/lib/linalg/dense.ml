@@ -1,0 +1,249 @@
+type t = { r : int; c : int; a : float array }
+
+let create r c =
+  if r < 0 || c < 0 then invalid_arg "Dense.create: negative dimension";
+  { r; c; a = Array.make (r * c) 0.0 }
+
+let rows m = m.r
+let cols m = m.c
+
+let get m i j = m.a.((i * m.c) + j)
+let set m i j v = m.a.((i * m.c) + j) <- v
+let add_entry m i j v = m.a.((i * m.c) + j) <- m.a.((i * m.c) + j) +. v
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let init r c f =
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let of_arrays rows_arr =
+  let r = Array.length rows_arr in
+  let c = if r = 0 then 0 else Array.length rows_arr.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Dense.of_arrays: ragged rows")
+    rows_arr;
+  init r c (fun i j -> rows_arr.(i).(j))
+
+let to_arrays m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
+
+let copy m = { m with a = Array.copy m.a }
+
+let transpose m = init m.c m.r (fun i j -> get m j i)
+
+let check_same name x y =
+  if x.r <> y.r || x.c <> y.c then
+    invalid_arg (Printf.sprintf "Dense.%s: dimension mismatch" name)
+
+let add x y =
+  check_same "add" x y;
+  { x with a = Array.init (Array.length x.a) (fun i -> x.a.(i) +. y.a.(i)) }
+
+let sub x y =
+  check_same "sub" x y;
+  { x with a = Array.init (Array.length x.a) (fun i -> x.a.(i) -. y.a.(i)) }
+
+let scale s m = { m with a = Array.map (fun v -> s *. v) m.a }
+
+let matmul x y =
+  if x.c <> y.r then invalid_arg "Dense.matmul: inner dimension mismatch";
+  let z = create x.r y.c in
+  for i = 0 to x.r - 1 do
+    for k = 0 to x.c - 1 do
+      let xik = get x i k in
+      if xik <> 0.0 then
+        for j = 0 to y.c - 1 do
+          add_entry z i j (xik *. get y k j)
+        done
+    done
+  done;
+  z
+
+let matvec m x =
+  if m.c <> Array.length x then invalid_arg "Dense.matvec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.c - 1 do
+        acc := !acc +. (get m i j *. x.(j))
+      done;
+      !acc)
+
+let matvec_t m x =
+  if m.r <> Array.length x then invalid_arg "Dense.matvec_t: dimension mismatch";
+  let y = Array.make m.c 0.0 in
+  for i = 0 to m.r - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.c - 1 do
+        y.(j) <- y.(j) +. (get m i j *. xi)
+      done
+  done;
+  y
+
+let diag m =
+  let n = min m.r m.c in
+  Array.init n (fun i -> get m i i)
+
+let of_diag d =
+  let n = Array.length d in
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i d.(i)
+  done;
+  m
+
+let trace m = Array.fold_left ( +. ) 0.0 (diag m)
+
+let frobenius m = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 m.a)
+
+let symmetrize m =
+  if m.r <> m.c then invalid_arg "Dense.symmetrize: not square";
+  init m.r m.c (fun i j -> 0.5 *. (get m i j +. get m j i))
+
+let is_symmetric ?(tol = 1e-10) m =
+  m.r = m.c
+  &&
+  let ok = ref true in
+  for i = 0 to m.r - 1 do
+    for j = i + 1 to m.c - 1 do
+      if Float.abs (get m i j -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+(* LU factorization with partial pivoting, stored in place.  Returns the
+   permutation as an array of row indices. *)
+let lu_factor m =
+  if m.r <> m.c then invalid_arg "Dense.solve: matrix not square";
+  let n = m.r in
+  let lu = copy m in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let pivot = ref k and best = ref (Float.abs (get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (get lu i k) in
+      if v > !best then begin
+        best := v;
+        pivot := i
+      end
+    done;
+    if !best < 1e-300 then failwith "Dense.solve: singular matrix";
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get lu k j in
+        set lu k j (get lu !pivot j);
+        set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp
+    end;
+    let pkk = get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = get lu i k /. pkk in
+      set lu i k factor;
+      for j = k + 1 to n - 1 do
+        add_entry lu i j (-.factor *. get lu k j)
+      done
+    done
+  done;
+  (lu, perm)
+
+let lu_solve (lu, perm) b =
+  let n = rows lu in
+  if Array.length b <> n then invalid_arg "Dense.solve: rhs dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (get lu i j *. x.(j))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. get lu i i
+  done;
+  x
+
+let solve m b = lu_solve (lu_factor m) b
+
+type factorization = t * int array
+
+let factorize = lu_factor
+let solve_factored = lu_solve
+
+let solve_many m bs =
+  let f = lu_factor m in
+  Array.map (lu_solve f) bs
+
+let inverse m =
+  let n = m.r in
+  let f = lu_factor m in
+  let inv = create n n in
+  for j = 0 to n - 1 do
+    let col = lu_solve f (Vec.basis n j) in
+    for i = 0 to n - 1 do
+      set inv i j col.(i)
+    done
+  done;
+  inv
+
+let cholesky m =
+  if m.r <> m.c then invalid_arg "Dense.cholesky: not square";
+  let n = m.r in
+  let l = create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (get m i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0.0 then failwith "Dense.cholesky: matrix not positive definite";
+        set l i j (sqrt !s)
+      end
+      else set l i j (!s /. get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve l b =
+  let n = rows l in
+  if Array.length b <> n then invalid_arg "Dense.cholesky_solve: dimension mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (get l i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. get l i i
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (get l j i *. y.(j))
+    done;
+    y.(i) <- y.(i) /. get l i i
+  done;
+  y
+
+let quadratic_form m x = Vec.dot x (matvec m x)
+
+let pp ppf m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.c - 1 do
+      Format.fprintf ppf "%10.4g " (get m i j)
+    done;
+    Format.fprintf ppf "@]@."
+  done

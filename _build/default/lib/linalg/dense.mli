@@ -1,0 +1,70 @@
+(** Dense matrices in row-major order.
+
+    Sized for the "unlimited internal computation" steps of the simulated
+    vertices: factorizations of sparsifier Laplacians ([n] up to a few
+    thousand), reference computations for tests, and the exact spectral
+    certificates of EXPERIMENTS.md. *)
+
+type t
+
+val create : int -> int -> t
+(** [create r c] is the zero matrix with [r] rows and [c] columns. *)
+
+val identity : int -> t
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+val init : int -> int -> (int -> int -> float) -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_entry : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val matmul : t -> t -> t
+val matvec : t -> Vec.t -> Vec.t
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t a x] is [a^T x]. *)
+
+val diag : t -> Vec.t
+val of_diag : Vec.t -> t
+val trace : t -> float
+val frobenius : t -> float
+val symmetrize : t -> t
+(** [(a + a^T) / 2]. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val solve : t -> Vec.t -> Vec.t
+(** Gaussian elimination with partial pivoting.
+    @raise Failure if the matrix is (numerically) singular. *)
+
+val solve_many : t -> Vec.t array -> Vec.t array
+(** Factor once, solve for several right-hand sides. *)
+
+type factorization
+(** A reusable LU factorization with partial pivoting. *)
+
+val factorize : t -> factorization
+(** @raise Failure if the matrix is (numerically) singular. *)
+
+val solve_factored : factorization -> Vec.t -> Vec.t
+
+val inverse : t -> t
+
+val cholesky : t -> t
+(** Lower-triangular Cholesky factor of an SPD matrix.
+    @raise Failure if the matrix is not (numerically) positive definite. *)
+
+val cholesky_solve : t -> Vec.t -> Vec.t
+(** [cholesky_solve l b] solves [l l^T x = b] given the factor [l]. *)
+
+val quadratic_form : t -> Vec.t -> float
+(** [x^T a x]. *)
+
+val pp : Format.formatter -> t -> unit

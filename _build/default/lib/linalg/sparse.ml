@@ -1,0 +1,164 @@
+type t = {
+  r : int;
+  c : int;
+  row_ptr : int array; (* length r+1 *)
+  col_idx : int array; (* length nnz *)
+  values : float array; (* length nnz *)
+}
+
+let rows m = m.r
+let cols m = m.c
+let nnz m = Array.length m.values
+
+let of_triplets ~rows:r ~cols:c triplets =
+  if r < 0 || c < 0 then invalid_arg "Sparse.of_triplets: negative dimension";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= r || j < 0 || j >= c then
+        invalid_arg
+          (Printf.sprintf "Sparse.of_triplets: entry (%d,%d) out of %dx%d" i j r c))
+    triplets;
+  (* Sort by (row, col) and merge duplicates. *)
+  let arr = Array.of_list triplets in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    arr;
+  let merged = ref [] and count = ref 0 in
+  let n = Array.length arr in
+  let k = ref 0 in
+  while !k < n do
+    let i, j, _ = arr.(!k) in
+    let v = ref 0.0 in
+    while
+      !k < n
+      && (let i', j', _ = arr.(!k) in
+          i' = i && j' = j)
+    do
+      let _, _, x = arr.(!k) in
+      v := !v +. x;
+      incr k
+    done;
+    if !v <> 0.0 then begin
+      merged := (i, j, !v) :: !merged;
+      incr count
+    end
+  done;
+  let entries = Array.of_list (List.rev !merged) in
+  let m = Array.length entries in
+  let row_ptr = Array.make (r + 1) 0 in
+  Array.iter (fun (i, _, _) -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) entries;
+  for i = 1 to r do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let col_idx = Array.make m 0 and values = Array.make m 0.0 in
+  Array.iteri
+    (fun k (_, j, v) ->
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    entries;
+  { r; c; row_ptr; col_idx; values }
+
+let of_dense d =
+  let triplets = ref [] in
+  for i = Dense.rows d - 1 downto 0 do
+    for j = Dense.cols d - 1 downto 0 do
+      let v = Dense.get d i j in
+      if v <> 0.0 then triplets := (i, j, v) :: !triplets
+    done
+  done;
+  of_triplets ~rows:(Dense.rows d) ~cols:(Dense.cols d) !triplets
+
+let iter_row m i f =
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let iter m f =
+  for i = 0 to m.r - 1 do
+    iter_row m i (fun j v -> f i j v)
+  done
+
+let fold m ~init ~f =
+  let acc = ref init in
+  iter m (fun i j v -> acc := f !acc i j v);
+  !acc
+
+let to_dense m =
+  let d = Dense.create m.r m.c in
+  iter m (fun i j v -> Dense.add_entry d i j v);
+  d
+
+let matvec m x =
+  if Array.length x <> m.c then invalid_arg "Sparse.matvec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let acc = ref 0.0 in
+      iter_row m i (fun j v -> acc := !acc +. (v *. x.(j)));
+      !acc)
+
+let matvec_t m x =
+  if Array.length x <> m.r then invalid_arg "Sparse.matvec_t: dimension mismatch";
+  let y = Array.make m.c 0.0 in
+  for i = 0 to m.r - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then iter_row m i (fun j v -> y.(j) <- y.(j) +. (v *. xi))
+  done;
+  y
+
+let transpose m =
+  let triplets = fold m ~init:[] ~f:(fun acc i j v -> (j, i, v) :: acc) in
+  of_triplets ~rows:m.c ~cols:m.r triplets
+
+let scale s m = { m with values = Array.map (fun v -> s *. v) m.values }
+
+let add a b =
+  if a.r <> b.r || a.c <> b.c then invalid_arg "Sparse.add: dimension mismatch";
+  let ta = fold a ~init:[] ~f:(fun acc i j v -> (i, j, v) :: acc) in
+  let tb = fold b ~init:ta ~f:(fun acc i j v -> (i, j, v) :: acc) in
+  of_triplets ~rows:a.r ~cols:a.c tb
+
+let row_scale d m =
+  if Array.length d <> m.r then invalid_arg "Sparse.row_scale: dimension mismatch";
+  let values = Array.copy m.values in
+  for i = 0 to m.r - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      values.(k) <- values.(k) *. d.(i)
+    done
+  done;
+  { m with values }
+
+let col_scale m d =
+  if Array.length d <> m.c then invalid_arg "Sparse.col_scale: dimension mismatch";
+  let values = Array.copy m.values in
+  for k = 0 to Array.length values - 1 do
+    values.(k) <- values.(k) *. d.(m.col_idx.(k))
+  done;
+  { m with values }
+
+let diag m =
+  let n = min m.r m.c in
+  let d = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    iter_row m i (fun j v -> if j = i then d.(i) <- d.(i) +. v)
+  done;
+  d
+
+let get m i j =
+  let acc = ref 0.0 in
+  iter_row m i (fun j' v -> if j' = j then acc := !acc +. v);
+  !acc
+
+let gram a d =
+  if Array.length d <> a.r then invalid_arg "Sparse.gram: dimension mismatch";
+  let g = Dense.create a.c a.c in
+  for i = 0 to a.r - 1 do
+    let di = d.(i) in
+    if di <> 0.0 then
+      iter_row a i (fun j1 v1 ->
+          iter_row a i (fun j2 v2 -> Dense.add_entry g j1 j2 (di *. v1 *. v2)))
+  done;
+  g
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>sparse %dx%d nnz=%d@," m.r m.c (nnz m);
+  iter m (fun i j v -> Format.fprintf ppf "(%d,%d)=%g@," i j v);
+  Format.fprintf ppf "@]"

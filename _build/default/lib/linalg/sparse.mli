@@ -1,0 +1,46 @@
+(** Sparse matrices in compressed-sparse-row (CSR) form.
+
+    Built once from coordinate triplets (duplicates are summed), then used for
+    matvec-style operations.  This is the representation behind graph
+    Laplacians, incidence matrices and the LP constraint matrices. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Duplicate [(i, j)] entries are summed; explicit zeros are dropped. *)
+
+val of_dense : Dense.t -> t
+val to_dense : t -> Dense.t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val matvec : t -> Vec.t -> Vec.t
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t a x = a^T x] without materializing the transpose. *)
+
+val transpose : t -> t
+val scale : float -> t -> t
+val add : t -> t -> t
+
+val row_scale : Vec.t -> t -> t
+(** [row_scale d a] is [diag(d) * a]. *)
+
+val col_scale : t -> Vec.t -> t
+(** [col_scale a d] is [a * diag(d)]. *)
+
+val diag : t -> Vec.t
+
+val get : t -> int -> int -> float
+(** Linear scan of the row; meant for tests, not inner loops. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+val iter : t -> (int -> int -> float -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+
+val gram : t -> Vec.t -> Dense.t
+(** [gram a d] is the (dense) normal matrix [a^T diag(d) a] — the paper's
+    [A^T D A].  Requires [dim d = rows a]. *)
+
+val pp : Format.formatter -> t -> unit

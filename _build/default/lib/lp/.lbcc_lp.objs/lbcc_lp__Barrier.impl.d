@@ -1,0 +1,1 @@
+lib/lp/barrier.ml: Float

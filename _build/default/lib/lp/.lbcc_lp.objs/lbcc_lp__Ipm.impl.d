@@ -1,0 +1,1 @@
+lib/lp/ipm.ml: Array Bits Float Format Lbcc_linalg Lbcc_net Lbcc_util Leverage Lewis Mixed_ball Problem Stdlib

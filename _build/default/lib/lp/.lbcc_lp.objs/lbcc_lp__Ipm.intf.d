@@ -1,0 +1,1 @@
+lib/lp/ipm.mli: Lbcc_linalg Lbcc_net Lbcc_util Prng Problem

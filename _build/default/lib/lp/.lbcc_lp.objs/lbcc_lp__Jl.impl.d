@@ -1,0 +1,1 @@
+lib/lp/jl.ml: Array Float Int64 Lbcc_linalg Lbcc_util Stdlib

@@ -1,0 +1,1 @@
+lib/lp/jl.mli: Lbcc_linalg

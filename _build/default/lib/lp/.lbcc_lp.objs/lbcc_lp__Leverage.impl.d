@@ -1,0 +1,1 @@
+lib/lp/leverage.ml: Array Bits Float Int64 Jl Lazy Lbcc_linalg Lbcc_net Lbcc_util Prng Stdlib

@@ -1,0 +1,1 @@
+lib/lp/leverage.mli: Lbcc_linalg Lbcc_net Lbcc_util

@@ -1,0 +1,1 @@
+lib/lp/lewis.ml: Array Float Lbcc_linalg Stdlib

@@ -1,0 +1,1 @@
+lib/lp/lewis.mli: Lbcc_linalg

@@ -1,0 +1,1 @@
+lib/lp/mixed_ball.ml: Array Float Fun Hashtbl Lbcc_linalg Lbcc_net List

@@ -1,0 +1,1 @@
+lib/lp/mixed_ball.mli: Lbcc_linalg Lbcc_net

@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Barrier Float Lbcc_linalg

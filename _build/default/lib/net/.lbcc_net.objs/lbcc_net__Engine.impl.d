@@ -1,0 +1,1 @@
+lib/net/engine.ml: Array Fun Hashtbl Lbcc_graph Lbcc_util List Model Rounds Stdlib

@@ -1,0 +1,1 @@
+lib/net/engine.mli: Lbcc_graph Model Rounds

@@ -1,0 +1,1 @@
+lib/net/model.ml: Format Lbcc_util

@@ -1,0 +1,1 @@
+lib/net/payload.ml: Bits Float Lbcc_util List Stdlib

@@ -1,0 +1,1 @@
+lib/net/rounds.ml: Bits Format Hashtbl Lbcc_util List Stdlib

@@ -1,0 +1,1 @@
+lib/net/rounds.mli: Format

@@ -1,0 +1,157 @@
+module Graph = Lbcc_graph.Graph
+
+type 'msg inbox = (int * 'msg) list
+
+type ('state, 'msg) step =
+  round:int -> vertex:int -> 'state -> 'msg inbox -> 'state * 'msg option * bool
+
+type stats = {
+  supersteps : int;
+  rounds : int;
+  messages_sent : int;
+  total_bits : int;
+}
+
+let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
+    ~graph ~size_bits ~init ~step () =
+  (match model.Model.discipline with
+  | Model.Broadcast -> ()
+  | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
+  let n = Graph.n graph in
+  let neighbors =
+    match model.Model.topology with
+    | Model.Input_graph ->
+        Array.init n (fun v -> List.map fst (Graph.neighbors graph v))
+    | Model.Clique ->
+        Array.init n (fun v -> List.filter (fun u -> u <> v) (List.init n Fun.id))
+  in
+  let states = Array.init n init in
+  let live = Array.make n true in
+  let inboxes = Array.make n [] in
+  let supersteps = ref 0 and rounds = ref 0 in
+  let messages_sent = ref 0 and total_bits = ref 0 in
+  let bandwidth = Model.bandwidth ~n in
+  let any_live () = Array.exists Fun.id live in
+  while any_live () && !supersteps < max_supersteps do
+    incr supersteps;
+    let outgoing = Array.make n None in
+    for v = 0 to n - 1 do
+      if live.(v) then begin
+        let inbox = List.rev inboxes.(v) in
+        inboxes.(v) <- [];
+        let state', msg, continue = step ~round:!supersteps ~vertex:v states.(v) inbox in
+        states.(v) <- state';
+        outgoing.(v) <- msg;
+        if not continue then live.(v) <- false
+      end
+    done;
+    (* Deliver and charge: the superstep costs the largest message. *)
+    let max_bits = ref 0 in
+    for v = 0 to n - 1 do
+      match outgoing.(v) with
+      | None -> ()
+      | Some msg ->
+          let bits = size_bits msg in
+          incr messages_sent;
+          total_bits := !total_bits + bits;
+          max_bits := Stdlib.max !max_bits bits;
+          List.iter
+            (fun u -> inboxes.(u) <- (v, msg) :: inboxes.(u))
+            neighbors.(v)
+    done;
+    let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
+    rounds := !rounds + cost;
+    (match accountant with
+    | Some acc -> Rounds.charge acc ~label ~rounds:cost
+    | None -> ())
+  done;
+  ( states,
+    {
+      supersteps = !supersteps;
+      rounds = !rounds;
+      messages_sent = !messages_sent;
+      total_bits = !total_bits;
+    } )
+
+type ('state, 'msg) unicast_step =
+  round:int ->
+  vertex:int ->
+  'state ->
+  'msg inbox ->
+  'state * (int * 'msg) list * bool
+
+let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000_000)
+    ~model ~graph ~size_bits ~init ~step () =
+  (match model.Model.discipline with
+  | Model.Unicast -> ()
+  | Model.Broadcast ->
+      invalid_arg "Engine.run_unicast: use run for broadcast disciplines");
+  let n = Graph.n graph in
+  let allowed =
+    match model.Model.topology with
+    | Model.Input_graph ->
+        Array.init n (fun v ->
+            let tbl = Hashtbl.create 8 in
+            List.iter (fun (u, _) -> Hashtbl.replace tbl u ()) (Graph.neighbors graph v);
+            tbl)
+    | Model.Clique ->
+        Array.init n (fun v ->
+            let tbl = Hashtbl.create n in
+            for u = 0 to n - 1 do
+              if u <> v then Hashtbl.replace tbl u ()
+            done;
+            tbl)
+  in
+  let states = Array.init n init in
+  let live = Array.make n true in
+  let inboxes = Array.make n [] in
+  let supersteps = ref 0 and rounds = ref 0 in
+  let messages_sent = ref 0 and total_bits = ref 0 in
+  let bandwidth = Model.bandwidth ~n in
+  let any_live () = Array.exists Fun.id live in
+  while any_live () && !supersteps < max_supersteps do
+    incr supersteps;
+    let outgoing = Array.make n [] in
+    for v = 0 to n - 1 do
+      if live.(v) then begin
+        let inbox = List.rev inboxes.(v) in
+        inboxes.(v) <- [];
+        let state', msgs, continue = step ~round:!supersteps ~vertex:v states.(v) inbox in
+        states.(v) <- state';
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun (u, _) ->
+            if not (Hashtbl.mem allowed.(v) u) then
+              invalid_arg "Engine.run_unicast: message to a non-neighbor";
+            if Hashtbl.mem seen u then
+              invalid_arg "Engine.run_unicast: two messages to one neighbor";
+            Hashtbl.replace seen u ())
+          msgs;
+        outgoing.(v) <- msgs;
+        if not continue then live.(v) <- false
+      end
+    done;
+    let max_bits = ref 0 in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (u, msg) ->
+          let bits = size_bits msg in
+          incr messages_sent;
+          total_bits := !total_bits + bits;
+          max_bits := Stdlib.max !max_bits bits;
+          inboxes.(u) <- (v, msg) :: inboxes.(u))
+        outgoing.(v)
+    done;
+    let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
+    rounds := !rounds + cost;
+    (match accountant with
+    | Some acc -> Rounds.charge acc ~label ~rounds:cost
+    | None -> ())
+  done;
+  ( states,
+    {
+      supersteps = !supersteps;
+      rounds = !rounds;
+      messages_sent = !messages_sent;
+      total_bits = !total_bits;
+    } )

@@ -1,0 +1,73 @@
+(** Generic synchronous broadcast engine.
+
+    Runs a per-vertex step function in lockstep supersteps: in each superstep
+    every live vertex reads its inbox (the broadcasts its in-neighbors made in
+    the previous superstep), updates its local state, and optionally
+    broadcasts one message.  The engine enforces the broadcast discipline
+    (one outgoing message per vertex per superstep, delivered identically to
+    all neighbors) and charges the accountant [ceil(max_bits/B)] rounds per
+    superstep.
+
+    The heavier algorithms of this repository (spanner, sparsifier) use
+    bespoke superstep drivers for clarity; this engine backs the simple
+    vertex programs (BFS baseline, leader election, aggregation) and the unit
+    tests of the charging rules. *)
+
+type 'msg inbox = (int * 'msg) list
+(** [(sender, message)] pairs, ascending by sender. *)
+
+type ('state, 'msg) step =
+  round:int -> vertex:int -> 'state -> 'msg inbox -> 'state * 'msg option * bool
+(** Returns the new state, an optional broadcast, and whether the vertex is
+    still live.  A halted vertex neither sends nor steps again (its last
+    state is kept); the run ends when all vertices halt or [max_supersteps]
+    is reached. *)
+
+type stats = {
+  supersteps : int;
+  rounds : int;
+  messages_sent : int;
+  total_bits : int;
+}
+
+val run :
+  ?accountant:Rounds.t ->
+  ?label:string ->
+  ?max_supersteps:int ->
+  model:Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  size_bits:('msg -> int) ->
+  init:(int -> 'state) ->
+  step:('state, 'msg) step ->
+  unit ->
+  'state array * stats
+(** Runs the protocol over the communication topology selected by [model]
+    ([Input_graph]: neighbors of [graph]; [Clique]: everyone).  Only
+    broadcast disciplines are supported.
+    @raise Invalid_argument on a unicast model. *)
+
+type ('state, 'msg) unicast_step =
+  round:int ->
+  vertex:int ->
+  'state ->
+  'msg inbox ->
+  'state * (int * 'msg) list * bool
+(** Unicast variant: the vertex addresses each outgoing message to a
+    specific neighbor (CONGEST / Congested Clique).  At most one message
+    per neighbor per superstep. *)
+
+val run_unicast :
+  ?accountant:Rounds.t ->
+  ?label:string ->
+  ?max_supersteps:int ->
+  model:Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  size_bits:('msg -> int) ->
+  init:(int -> 'state) ->
+  step:('state, 'msg) unicast_step ->
+  unit ->
+  'state array * stats
+(** Per-edge messages; a superstep costs [ceil(max_bits/B)] rounds (every
+    edge carries its message in parallel).
+    @raise Invalid_argument on a broadcast model, a message addressed to a
+    non-neighbor, or two messages to the same neighbor in one superstep. *)

@@ -1,0 +1,25 @@
+(** The message-passing models of the paper (Section 2.1).
+
+    All four models proceed in synchronous rounds with bandwidth
+    [B = Theta(log n)] bits per message.  They differ in topology
+    (communication along input-graph edges vs. all-to-all) and in whether a
+    vertex may send distinct messages to distinct neighbors (unicast) or must
+    send the same message to all (broadcast). *)
+
+type topology = Input_graph | Clique
+type discipline = Unicast | Broadcast
+
+type t = { topology : topology; discipline : discipline }
+
+val congest : t
+val broadcast_congest : t
+val congested_clique : t
+val broadcast_congested_clique : t
+
+val bandwidth : n:int -> int
+(** The per-message bandwidth [B] in bits for an [n]-vertex network:
+    [2 * ceil(log2 n)], i.e. [Theta(log n)] with the constant the paper's
+    messages (an ID plus a small tag) need. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

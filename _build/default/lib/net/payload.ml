@@ -1,0 +1,23 @@
+open Lbcc_util
+
+type field =
+  | Tag of int
+  | Vertex_id of int
+  | Int of int
+  | Weight of float
+  | Bitfield of int
+
+type t = field list
+
+let weight_bits w =
+  if Float.is_integer w && Float.abs w < 1e15 then Bits.int_bits (int_of_float w)
+  else Bits.float_bits ()
+
+let field_size = function
+  | Tag alternatives -> Bits.ceil_log2 (Stdlib.max 2 alternatives)
+  | Vertex_id n -> Bits.id_bits ~n
+  | Int v -> Bits.int_bits v
+  | Weight w -> weight_bits w
+  | Bitfield b -> Stdlib.max 0 b
+
+let size t = Stdlib.max 1 (List.fold_left (fun acc f -> acc + field_size f) 0 t)

@@ -1,0 +1,24 @@
+(** Bit-size computation for simulated message payloads.
+
+    A payload is a small algebraic description of a message's fields; the
+    engine and the accountant charge rounds from its [size].  Vertex
+    identifiers are charged [ceil(log2 n)] bits, integers their binary
+    magnitude plus sign, edge weights either their integer size or a full
+    double if fractional, and tags a constant number of bits distinguishing
+    message kinds. *)
+
+type field =
+  | Tag of int (** number of distinct alternatives the tag selects among *)
+  | Vertex_id of int (** [n], the vertex-id universe *)
+  | Int of int (** the integer value carried *)
+  | Weight of float (** an edge weight / numeric value *)
+  | Bitfield of int (** raw bit count *)
+
+type t = field list
+
+val size : t -> int
+(** Total bits of a payload; at least 1. *)
+
+val weight_bits : float -> int
+(** Bits charged for a weight: [int_bits w] when [w] is integral,
+    [Bits.float_bits ()] otherwise. *)

@@ -1,0 +1,46 @@
+open Lbcc_util
+
+type t = {
+  bandwidth : int;
+  mutable total : int;
+  tally : (string, int ref) Hashtbl.t;
+  mutable order : string list; (* reversed first-charge order *)
+}
+
+let create ~bandwidth =
+  if bandwidth < 1 then invalid_arg "Rounds.create: bandwidth must be >= 1";
+  { bandwidth; total = 0; tally = Hashtbl.create 16; order = [] }
+
+let bandwidth t = t.bandwidth
+
+let charge t ~label ~rounds =
+  if rounds < 0 then invalid_arg "Rounds.charge: negative rounds";
+  t.total <- t.total + rounds;
+  match Hashtbl.find_opt t.tally label with
+  | Some r -> r := !r + rounds
+  | None ->
+      Hashtbl.add t.tally label (ref rounds);
+      t.order <- label :: t.order
+
+let charge_broadcast t ~label ~bits =
+  let rounds = Stdlib.max 1 (Bits.ceil_div (Stdlib.max 1 bits) t.bandwidth) in
+  charge t ~label ~rounds
+
+let charge_vector t ~label ~entry_bits = charge_broadcast t ~label ~bits:entry_bits
+
+let rounds t = t.total
+
+let breakdown t =
+  List.rev_map (fun label -> (label, !(Hashtbl.find t.tally label))) t.order
+
+let reset t =
+  t.total <- 0;
+  Hashtbl.reset t.tally;
+  t.order <- []
+
+let checkpoint t = t.total
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rounds total=%d (B=%d bits)@," t.total t.bandwidth;
+  List.iter (fun (l, r) -> Format.fprintf ppf "  %-32s %d@," l r) (breakdown t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Round accountant.
+
+    Round complexity is the metric the paper proves bounds on, so it is a
+    first-class runtime value here: every distributed routine threads an
+    accountant and charges it for each communication superstep.  A superstep
+    in which the largest broadcast is [s] bits costs [ceil(s/B)] rounds
+    (the synchronous lockstep cost the paper uses, e.g. the
+    "[1 + log W / log n] rounds" per spanner message).
+
+    Charges carry string labels so experiments can report per-phase
+    breakdowns. *)
+
+type t
+
+val create : bandwidth:int -> t
+(** [create ~bandwidth:b] with [b >= 1] bits per message per round. *)
+
+val bandwidth : t -> int
+
+val charge : t -> label:string -> rounds:int -> unit
+(** Charge a fixed number of rounds. *)
+
+val charge_broadcast : t -> label:string -> bits:int -> unit
+(** One synchronous broadcast superstep whose largest message has [bits]
+    bits: costs [max 1 (ceil(bits/B))] rounds. *)
+
+val charge_vector : t -> label:string -> entry_bits:int -> unit
+(** Exchange of a distributed vector, one coordinate per vertex, each entry
+    [entry_bits] bits: everyone broadcasts simultaneously, so this is a
+    single broadcast superstep. *)
+
+val rounds : t -> int
+(** Total rounds charged so far. *)
+
+val breakdown : t -> (string * int) list
+(** Rounds per label, in first-charge order. *)
+
+val reset : t -> unit
+
+val checkpoint : t -> int
+(** Current total, for measuring a subcomputation as a difference. *)
+
+val pp : Format.formatter -> t -> unit

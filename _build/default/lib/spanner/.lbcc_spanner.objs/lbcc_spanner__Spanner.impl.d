@@ -1,0 +1,1 @@
+lib/spanner/spanner.ml: Array Hashtbl Lbcc_graph Lbcc_net Lbcc_util List Option Prng Stdlib

@@ -1,0 +1,1 @@
+lib/spanner/spanner.mli: Lbcc_graph Lbcc_net Lbcc_util Prng

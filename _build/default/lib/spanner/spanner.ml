@@ -1,0 +1,471 @@
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Rounds = Lbcc_net.Rounds
+module Payload = Lbcc_net.Payload
+module Model = Lbcc_net.Model
+
+type result = {
+  fplus : int list;
+  fminus : int list;
+  orientation : (int * int) array;
+  clusters : int option array;
+  rounds : int;
+  supersteps : int;
+  views_agree : bool;
+}
+
+(* Broadcast message kinds.  [Phase_info] announces a vertex's cluster and
+   mark bit at the start of a phase; [Join*] is the step-2 announcement;
+   [Connect*] the step-3/4 per-cluster announcements. *)
+type msg =
+  | Phase_info of { cluster : int option; marked : bool }
+  | Join of { cluster : int; via : int; w : float }
+  | Join_none
+  | Connect_ok of { cluster : int; via : int; w : float }
+  | Connect_fail of { cluster : int }
+
+let msg_bits ~n = function
+  | Phase_info _ -> Payload.size [ Tag 5; Vertex_id n; Bitfield 1 ]
+  | Join { w; _ } -> Payload.size [ Tag 5; Vertex_id n; Vertex_id n; Weight w ]
+  | Join_none -> Payload.size [ Tag 5 ]
+  | Connect_ok { w; _ } -> Payload.size [ Tag 5; Vertex_id n; Vertex_id n; Weight w ]
+  | Connect_fail _ -> Payload.size [ Tag 5; Vertex_id n ]
+
+(* Per-vertex local state.  Everything a vertex learns about its incident
+   edges is keyed by edge id; the discipline is that [v] writes only its own
+   record and reads only its own record plus received broadcasts. *)
+type vertex = {
+  id : int;
+  mutable cluster : int option;
+  mutable marked : bool;
+  mutable w_threshold : float;
+  fplus : (int, unit) Hashtbl.t;
+  fminus : (int, unit) Hashtbl.t;
+  neighbor_cluster : (int, int option) Hashtbl.t;
+  neighbor_marked : (int, bool) Hashtbl.t;
+  neighbor_w : (int, float) Hashtbl.t;
+  mark_prng : Prng.t;
+  connect_prng : Prng.t;
+}
+
+type sim = {
+  graph : Graph.t;
+  n : int;
+  p : float array;
+  verts : vertex array;
+  edge_of : (int * int, int) Hashtbl.t; (* (min u v, max u v) -> edge id *)
+  acc : Rounds.t;
+  mutable stage : string; (* label for the accountant's per-phase breakdown *)
+  mutable supersteps : int;
+  mutable orientation : (int, int * int) Hashtbl.t;
+      (* edge id -> (from, to): first adder wins *)
+  mutable consistent : bool;
+}
+
+let in_fplus vx e = Hashtbl.mem vx.fplus e
+let in_fminus vx e = Hashtbl.mem vx.fminus e
+
+let add_fplus sim vx ~from_ ~to_ e =
+  if in_fminus vx e then sim.consistent <- false
+  else if not (in_fplus vx e) then begin
+    Hashtbl.replace vx.fplus e ();
+    if not (Hashtbl.mem sim.orientation e) then
+      Hashtbl.replace sim.orientation e (from_, to_)
+  end
+
+let add_fminus sim vx e =
+  if in_fplus vx e then sim.consistent <- false
+  else Hashtbl.replace vx.fminus e ()
+
+(* Effective existence probability of an edge from [vx]'s point of view:
+   accepted edges exist with certainty; rejected edges are never candidates;
+   untried edges carry their input probability. *)
+let p_eff sim vx e = if in_fplus vx e then 1.0 else sim.p.(e)
+
+(* The paper's Connect(N, p): try candidates ascending by (weight, id of the
+   other endpoint); the first accepted candidate wins, all earlier ones are
+   rejected.  Candidates are given as (other endpoint, edge id). *)
+let connect sim vx candidates =
+  let weighted =
+    List.map (fun (u, e) -> ((Graph.edge sim.graph e).w, u, e)) candidates
+  in
+  let sorted = List.sort compare weighted in
+  let rec go = function
+    | [] -> None
+    | (w, u, e) :: rest ->
+        if Prng.float vx.connect_prng < p_eff sim vx e then begin
+          add_fplus sim vx ~from_:vx.id ~to_:u e;
+          Some (u, e, w)
+        end
+        else begin
+          add_fminus sim vx e;
+          go rest
+        end
+  in
+  go sorted
+
+(* ------------------------------------------------------------------ *)
+(* Superstep drivers                                                   *)
+
+(* One synchronous broadcast superstep: each vertex sends at most one
+   message to all its graph neighbors; the step costs the largest message. *)
+let superstep sim (outgoing : msg option array) receive =
+  let any = Array.exists Option.is_some outgoing in
+  if any then begin
+    sim.supersteps <- sim.supersteps + 1;
+    let max_bits = ref 1 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some m -> max_bits := Stdlib.max !max_bits (msg_bits ~n:sim.n m))
+      outgoing;
+    Rounds.charge_broadcast sim.acc ~label:sim.stage ~bits:!max_bits;
+    (* Deliver: receivers process broadcasts in sender order. *)
+    for v = 0 to sim.n - 1 do
+      match outgoing.(v) with
+      | None -> ()
+      | Some m ->
+          List.iter
+            (fun (u, e) -> receive ~receiver:sim.verts.(u) ~sender:v ~edge:e m)
+            (Graph.neighbors sim.graph v)
+    done
+  end
+
+(* Drain per-vertex message queues, one broadcast per vertex per superstep. *)
+let drain_queues sim (queues : msg list array) receive =
+  let pending () = Array.exists (fun q -> q <> []) queues in
+  while pending () do
+    let outgoing =
+      Array.map
+        (function
+          | [] -> None
+          | m :: _ -> Some m)
+        queues
+    in
+    Array.iteri
+      (fun v q -> match q with [] -> () | _ :: rest -> queues.(v) <- rest)
+      queues;
+    superstep sim outgoing receive
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Receivers                                                           *)
+
+let receive_phase_info ~receiver ~sender:_ ~edge = function
+  | Phase_info { cluster; marked } ->
+      Hashtbl.replace receiver.neighbor_cluster edge cluster;
+      Hashtbl.replace receiver.neighbor_marked edge marked
+  | _ -> ()
+
+(* Step 2 deduction rules.  [receiver] is [u], the message came from [v]
+   over [edge]; [u] reacts only if it could have been in [v]'s candidate
+   set: [u] is in a marked cluster and the edge is not already deleted. *)
+let receive_join sim ~receiver ~sender ~edge msg =
+  (match msg with
+  | Join { w; _ } -> Hashtbl.replace receiver.neighbor_w edge w
+  | Join_none -> Hashtbl.replace receiver.neighbor_w edge infinity
+  | _ -> ());
+  let u = receiver in
+  let eligible = u.cluster <> None && u.marked && not (in_fminus u edge) in
+  if eligible then begin
+    match msg with
+    | Join { via; w; _ } ->
+        if via = u.id then add_fplus sim u ~from_:sender ~to_:u.id edge
+        else begin
+          let we = (Graph.edge sim.graph edge).w in
+          if w > we || (w = we && via > u.id) then add_fminus sim u edge
+        end
+    | Join_none -> add_fminus sim u edge
+    | _ -> ()
+  end
+
+(* Step 3 / step 4 deduction.  The message names the target cluster; [u]
+   reacts if it belongs to that cluster, the edge is not deleted, and the
+   edge met the sender's candidate condition ([weight_filter]). *)
+let receive_connect sim ~weight_filtered ~receiver ~sender ~edge msg =
+  let u = receiver in
+  let concerns cluster = u.cluster = Some cluster in
+  let we = (Graph.edge sim.graph edge).w in
+  let candidate () =
+    (not (in_fminus u edge))
+    &&
+    if weight_filtered then
+      match Hashtbl.find_opt u.neighbor_w edge with
+      | Some wv -> we < wv
+      | None -> false
+    else true
+  in
+  match msg with
+  | Connect_ok { cluster; via; w } when concerns cluster && candidate () ->
+      if via = u.id then add_fplus sim u ~from_:sender ~to_:u.id edge
+      else if w > we || (w = we && via > u.id) then add_fminus sim u edge
+  | Connect_fail { cluster } when concerns cluster && candidate () ->
+      add_fminus sim u edge
+  | Connect_ok _ | Connect_fail _ | Phase_info _ | Join _ | Join_none -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The algorithm                                                       *)
+
+(* Live (non-deleted) incident edges of [v] whose other endpoint's cluster
+   satisfies [select]. *)
+let candidates_by_cluster sim vx ~select =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (u, e) ->
+      if not (in_fminus vx e) then
+        match Hashtbl.find_opt vx.neighbor_cluster e with
+        | Some (Some x) when select ~cluster:x ~other:u ~edge:e ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt groups x) in
+            Hashtbl.replace groups x ((u, e) :: prev)
+        | _ -> ())
+    (Graph.neighbors sim.graph vx.id);
+  Hashtbl.fold (fun x members acc -> (x, members) :: acc) groups []
+  |> List.sort compare
+
+let phase_info_broadcast sim =
+  let outgoing =
+    Array.map
+      (fun vx -> Some (Phase_info { cluster = vx.cluster; marked = vx.marked }))
+      sim.verts
+  in
+  superstep sim outgoing (fun ~receiver ~sender ~edge m ->
+      receive_phase_info ~receiver ~sender ~edge m)
+
+(* Step 3 substep (and the three step-4 substeps): every qualifying vertex
+   runs Connect against each cluster selected by [select], queues one
+   message per tried cluster, and all queues drain synchronously. *)
+let connect_stage sim ~participates ~select ~weight_filtered =
+  let queues = Array.make sim.n [] in
+  Array.iter
+    (fun vx ->
+      if participates vx then begin
+        let groups = candidates_by_cluster sim vx ~select:(select vx) in
+        let msgs =
+          List.map
+            (fun (x, members) ->
+              match connect sim vx members with
+              | Some (via, _e, w) -> Connect_ok { cluster = x; via; w }
+              | None -> Connect_fail { cluster = x })
+            groups
+        in
+        queues.(vx.id) <- msgs
+      end)
+    sim.verts;
+  drain_queues sim queues (fun ~receiver ~sender ~edge m ->
+      receive_connect sim ~weight_filtered ~receiver ~sender ~edge m)
+
+let run ?accountant ~prng ~graph ~p ~k () =
+  let n = Graph.n graph in
+  if k < 1 then invalid_arg "Spanner.run: k must be >= 1";
+  if Array.length p <> Graph.m graph then
+    invalid_arg "Spanner.run: p has wrong length";
+  Array.iter
+    (fun pe ->
+      if pe < 0.0 || pe > 1.0 then invalid_arg "Spanner.run: probability out of range")
+    p;
+  let acc =
+    match accountant with
+    | Some a -> a
+    | None -> Rounds.create ~bandwidth:(Model.bandwidth ~n)
+  in
+  let edge_of = Hashtbl.create (Graph.m graph) in
+  Array.iteri
+    (fun e (ed : Graph.edge) ->
+      let key = (Stdlib.min ed.u ed.v, Stdlib.max ed.u ed.v) in
+      if Hashtbl.mem edge_of key then
+        invalid_arg "Spanner.run: parallel edges not supported";
+      Hashtbl.add edge_of key e)
+    (Graph.edges graph);
+  let verts =
+    Array.init n (fun v ->
+        {
+          id = v;
+          cluster = Some v;
+          marked = false;
+          w_threshold = infinity;
+          fplus = Hashtbl.create 8;
+          fminus = Hashtbl.create 8;
+          neighbor_cluster = Hashtbl.create 8;
+          neighbor_marked = Hashtbl.create 8;
+          neighbor_w = Hashtbl.create 8;
+          mark_prng = Prng.split prng;
+          connect_prng = Prng.split prng;
+        })
+  in
+  let sim =
+    {
+      graph;
+      n;
+      p;
+      verts;
+      edge_of;
+      acc;
+      stage = "spanner";
+      supersteps = 0;
+      orientation = Hashtbl.create 64;
+      consistent = true;
+    }
+  in
+  let start_rounds = Rounds.checkpoint acc in
+  let mark_probability = float_of_int n ** (-1.0 /. float_of_int k) in
+  let depth = Array.make n 0 in
+
+  for _phase = 1 to k - 1 do
+    (* Step 1: centers mark; the mark propagates down the cluster tree
+       (1-bit messages along F+ tree edges), charged at the deepest tree. *)
+    let mark_draw = Array.map (fun vx -> Prng.float vx.mark_prng) verts in
+    let cluster_marked = Hashtbl.create 16 in
+    Array.iter
+      (fun vx ->
+        match vx.cluster with
+        | Some c when c = vx.id ->
+            Hashtbl.replace cluster_marked c (mark_draw.(vx.id) < mark_probability)
+        | Some _ | None -> ())
+      verts;
+    let max_depth = ref 0 in
+    Array.iter
+      (fun vx ->
+        match vx.cluster with
+        | Some c ->
+            vx.marked <- Option.value ~default:false (Hashtbl.find_opt cluster_marked c);
+            max_depth := Stdlib.max !max_depth depth.(vx.id)
+        | None -> vx.marked <- false)
+      verts;
+    Rounds.charge acc ~label:"spanner/marking" ~rounds:(Stdlib.max 1 !max_depth);
+    sim.supersteps <- sim.supersteps + Stdlib.max 1 !max_depth;
+
+    (* Everyone announces (cluster, marked) so neighbors can build their
+       candidate sets for this phase. *)
+    sim.stage <- "spanner/phase-info";
+    phase_info_broadcast sim;
+
+    (* Step 2: unmarked-cluster vertices try to join a marked cluster. *)
+    sim.stage <- "spanner/join-marked";
+    let joins = Array.make n None in
+    let outgoing =
+      Array.map
+        (fun vx ->
+          match vx.cluster with
+          | Some _ when not vx.marked ->
+              let candidates =
+                List.filter
+                  (fun (_, e) ->
+                    (not (in_fminus vx e))
+                    && Option.value ~default:false (Hashtbl.find_opt vx.neighbor_marked e)
+                    && Option.value ~default:None (Hashtbl.find_opt vx.neighbor_cluster e)
+                       <> None)
+                  (Graph.neighbors graph vx.id)
+              in
+              (match connect sim vx candidates with
+              | Some (via, e, w) ->
+                  vx.w_threshold <- w;
+                  let target =
+                    match Hashtbl.find_opt vx.neighbor_cluster e with
+                    | Some (Some x) -> x
+                    | Some None | None -> assert false
+                  in
+                  joins.(vx.id) <- Some (target, e);
+                  Some (Join { cluster = target; via; w })
+              | None ->
+                  vx.w_threshold <- infinity;
+                  Some Join_none)
+          | Some _ | None -> None)
+        verts
+    in
+    superstep sim outgoing (fun ~receiver ~sender ~edge m ->
+        receive_join sim ~receiver ~sender ~edge m);
+
+    (* Step 3.1 / 3.2: connections between unmarked clusters, split by
+       cluster-id order so no edge is decided from both sides at once. *)
+    let unmarked_clustered vx = vx.cluster <> None && not vx.marked in
+    let select_lower vx ~cluster ~other:_ ~edge =
+      (match vx.cluster with Some own -> cluster < own | None -> false)
+      && (not (Option.value ~default:false (Hashtbl.find_opt vx.neighbor_marked edge)))
+      && (Graph.edge graph edge).w < vx.w_threshold
+    in
+    let select_higher vx ~cluster ~other:_ ~edge =
+      (match vx.cluster with Some own -> cluster > own | None -> false)
+      && (not (Option.value ~default:false (Hashtbl.find_opt vx.neighbor_marked edge)))
+      && (Graph.edge graph edge).w < vx.w_threshold
+    in
+    sim.stage <- "spanner/unmarked-connect";
+    connect_stage sim ~participates:unmarked_clustered ~select:select_lower
+      ~weight_filtered:true;
+    connect_stage sim ~participates:unmarked_clustered ~select:select_higher
+      ~weight_filtered:true;
+
+    (* Phase epilogue: cluster updates become effective. *)
+    Array.iter
+      (fun vx ->
+        if not vx.marked then begin
+          match joins.(vx.id) with
+          | Some (target, e) ->
+              vx.cluster <- Some target;
+              let other = Graph.other_endpoint (Graph.edge graph e) vx.id in
+              depth.(vx.id) <- depth.(other) + 1
+          | None -> vx.cluster <- None
+        end)
+      verts;
+    Array.iter (fun vx -> vx.w_threshold <- infinity) verts
+  done;
+
+  (* Step 4: connect to the remaining clusters R_k.  A fresh announcement
+     of final clusters (nobody is marked anymore: selection is by id). *)
+  Array.iter (fun vx -> vx.marked <- false) verts;
+  sim.stage <- "spanner/phase-info";
+  phase_info_broadcast sim;
+  let unclustered vx = vx.cluster = None in
+  let clustered vx = vx.cluster <> None in
+  let select_any _vx ~cluster:_ ~other:_ ~edge:_ = true in
+  let select_lower vx ~cluster ~other:_ ~edge:_ =
+    match vx.cluster with Some own -> cluster < own | None -> false
+  in
+  let select_higher vx ~cluster ~other:_ ~edge:_ =
+    match vx.cluster with Some own -> cluster > own | None -> false
+  in
+  sim.stage <- "spanner/final-connect";
+  connect_stage sim ~participates:unclustered ~select:select_any
+    ~weight_filtered:false;
+  connect_stage sim ~participates:clustered ~select:select_lower
+    ~weight_filtered:false;
+  connect_stage sim ~participates:clustered ~select:select_higher
+    ~weight_filtered:false;
+
+  (* Collect results and check that the two endpoints of every tried edge
+     agree on its classification (the implicit-communication guarantee). *)
+  let m = Graph.m graph in
+  let fplus = ref [] and fminus = ref [] in
+  let agree = ref sim.consistent in
+  for e = m - 1 downto 0 do
+    let ed = Graph.edge graph e in
+    let pu = in_fplus verts.(ed.u) e and pv = in_fplus verts.(ed.v) e in
+    let mu = in_fminus verts.(ed.u) e and mv = in_fminus verts.(ed.v) e in
+    if pu <> pv || mu <> mv then agree := false;
+    if pu || pv then fplus := e :: !fplus
+    else if mu || mv then fminus := e :: !fminus
+  done;
+  let orientation =
+    Array.of_list
+      (List.map
+         (fun e ->
+           match Hashtbl.find_opt sim.orientation e with
+           | Some o -> o
+           | None ->
+               let ed = Graph.edge graph e in
+               (ed.u, ed.v))
+         !fplus)
+  in
+  {
+    fplus = !fplus;
+    fminus = !fminus;
+    orientation;
+    clusters = Array.map (fun vx -> vx.cluster) verts;
+    rounds = Rounds.checkpoint acc - start_rounds;
+    supersteps = sim.supersteps;
+    views_agree = !agree;
+  }
+
+let out_degrees graph (result : result) =
+  let deg = Array.make (Graph.n graph) 0 in
+  Array.iter (fun (from_, _) -> deg.(from_) <- deg.(from_) + 1) result.orientation;
+  deg

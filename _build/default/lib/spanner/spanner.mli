@@ -1,0 +1,48 @@
+(** Spanners with probabilistic edges (Section 3.1 of the paper).
+
+    [run] computes, in the simulated Broadcast CONGEST model, a partition of
+    a subset [F = F+ ⊔ F-] of the edges such that each tried edge [e] lands
+    in [F+] independently with probability [p_e], and [S = (V, F+)] is a
+    [(2k-1)]-spanner of [(V, F+ ∪ E'')] for every [E'' ⊆ E \ F]
+    (Lemma 3.1).  With [p ≡ 1] the algorithm is exactly Baswana–Sen
+    (Appendix A) and [F- = ∅].
+
+    The implementation is a vertex program: every decision of vertex [v]
+    reads only [v]'s local state and the broadcasts of its neighbors, and
+    every broadcast is charged to the round accountant at its bit size.
+    Each vertex records its own view of [F+] and [F-]; the paper's
+    implicit-communication argument says the two endpoints' views always
+    agree, and [run] verifies this ([views_agree]). *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+
+type result = {
+  fplus : int list;  (** spanner edge ids, ascending *)
+  fminus : int list;  (** rejected (non-existing) edge ids, ascending *)
+  orientation : (int * int) array;
+      (** for each [fplus] edge in order, [(from, to_)]: the edge is charged
+          to the out-degree of [from] (Lemma 3.1's orientation) *)
+  clusters : int option array;  (** final cluster (center id) per vertex *)
+  rounds : int;  (** Broadcast CONGEST rounds charged for this call *)
+  supersteps : int;
+  views_agree : bool;
+      (** both endpoints of every tried edge classified it identically —
+          the correctness of the paper's implicit communication *)
+}
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  prng:Prng.t ->
+  graph:Graph.t ->
+  p:float array ->
+  k:int ->
+  unit ->
+  result
+(** [run ~prng ~graph ~p ~k ()] with [p.(e)] the survival probability of edge
+    [e] and stretch parameter [k >= 1].
+    @raise Invalid_argument if [p] has the wrong length, a probability is
+    outside [\[0,1\]], [k < 1], or [graph] has parallel edges. *)
+
+val out_degrees : Graph.t -> result -> int array
+(** Out-degree per vertex under the result's orientation. *)

@@ -1,0 +1,1 @@
+lib/sparsifier/apriori.ml: Array Bundle Fun Hashtbl Lbcc_graph Lbcc_util List Prng Sparsify

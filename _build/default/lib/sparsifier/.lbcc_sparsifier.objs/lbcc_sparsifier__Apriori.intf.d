@@ -1,0 +1,1 @@
+lib/sparsifier/apriori.mli: Lbcc_graph Lbcc_util Prng

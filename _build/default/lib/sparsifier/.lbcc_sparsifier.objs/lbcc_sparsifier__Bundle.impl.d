@@ -1,0 +1,1 @@
+lib/sparsifier/bundle.ml: Array Fun Lbcc_graph Lbcc_spanner List

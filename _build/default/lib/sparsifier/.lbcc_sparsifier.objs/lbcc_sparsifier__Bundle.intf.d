@@ -1,0 +1,1 @@
+lib/sparsifier/bundle.mli: Lbcc_graph Lbcc_net Lbcc_util Prng

@@ -1,0 +1,1 @@
+lib/sparsifier/certify.ml: Array Float Lbcc_graph Lbcc_linalg Lbcc_util Prng

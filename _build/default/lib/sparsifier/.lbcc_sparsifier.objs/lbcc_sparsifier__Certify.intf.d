@@ -1,0 +1,1 @@
+lib/sparsifier/certify.mli: Lbcc_graph Lbcc_util Prng

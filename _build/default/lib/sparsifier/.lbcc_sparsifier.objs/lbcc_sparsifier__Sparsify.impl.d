@@ -1,0 +1,1 @@
+lib/sparsifier/sparsify.ml: Array Bits Bundle Float Fun Hashtbl Lbcc_graph Lbcc_net Lbcc_util List Option Prng Stdlib

@@ -1,0 +1,48 @@
+module Graph = Lbcc_graph.Graph
+module Spanner = Lbcc_spanner.Spanner
+
+type result = {
+  bundle : int list;
+  rejected : int list;
+  orientations : (int * int * int) list;
+  rounds : int;
+}
+
+let run ?accountant ~prng ~graph ~p ~k ~t () =
+  if t < 1 then invalid_arg "Bundle.run: t must be >= 1";
+  let m = Graph.m graph in
+  if Array.length p <> m then invalid_arg "Bundle.run: p has wrong length";
+  let alive = Array.make m true in
+  let bundle = ref [] and rejected = ref [] and orientations = ref [] in
+  let rounds = ref 0 in
+  for _i = 1 to t do
+    (* Restrict to edges not yet decided by earlier spanners of the bundle. *)
+    let ids =
+      List.filter (fun e -> alive.(e)) (List.init m Fun.id)
+    in
+    let sub = Graph.sub_edges graph ids in
+    let idx = Array.of_list ids in
+    let sub_p = Array.map (fun e -> p.(e)) idx in
+    let r = Spanner.run ?accountant ~prng ~graph:sub ~p:sub_p ~k () in
+    rounds := !rounds + r.Spanner.rounds;
+    List.iteri
+      (fun pos e ->
+        let orig = idx.(e) in
+        alive.(orig) <- false;
+        bundle := orig :: !bundle;
+        let from_, to_ = r.Spanner.orientation.(pos) in
+        orientations := (orig, from_, to_) :: !orientations)
+      r.Spanner.fplus;
+    List.iter
+      (fun e ->
+        let orig = idx.(e) in
+        alive.(orig) <- false;
+        rejected := orig :: !rejected)
+      r.Spanner.fminus
+  done;
+  {
+    bundle = List.sort compare !bundle;
+    rejected = List.sort compare !rejected;
+    orientations = !orientations;
+    rounds = !rounds;
+  }

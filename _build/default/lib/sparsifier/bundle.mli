@@ -1,0 +1,29 @@
+(** t-bundle spanners (Algorithm 3, [BundleSpanner]).
+
+    A [t]-bundle spanner of stretch [2k-1] is a union [B = ∪ T_i] where each
+    [T_i] is a spanner of [G \ ∪_{j<i} T_j].  With probabilistic edges, each
+    call to [Spanner.run] both builds [T_i] and definitively samples the
+    edges it tried; [C] collects the rejected edges. *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+
+type result = {
+  bundle : int list;  (** B: edge ids in the bundle, ascending *)
+  rejected : int list;  (** C: edge ids sampled out of existence *)
+  orientations : (int * int * int) list;
+      (** per bundle edge: [(edge, from, to)] — Lemma 3.1 orientation *)
+  rounds : int;
+}
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  prng:Prng.t ->
+  graph:Graph.t ->
+  p:float array ->
+  k:int ->
+  t:int ->
+  unit ->
+  result
+(** [run ~graph ~p ~k ~t ()] computes a [t]-bundle of [(2k-1)]-spanners on
+    the probabilistic graph [(graph, p)]. *)

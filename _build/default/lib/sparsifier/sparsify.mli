@@ -1,0 +1,70 @@
+(** Spectral sparsification in the Broadcast CONGEST model
+    (Algorithm 5, [SpectralSparsify]; Theorem 1.2).
+
+    Repeatedly computes t-bundle spanners with ad-hoc ("on the fly") edge
+    sampling, quartering the survival probability and quadrupling the weight
+    of every surviving non-bundle edge, and finally samples the leftover
+    probabilistic edges locally at the lower-id endpoint.
+
+    Parameters default to the paper's asymptotic settings
+    ([k = ceil(log2 n)], [iterations = ceil(log2 m)]) with the bundle size
+    [t = t_scale * log2(n)^2 / eps^2] exposed through [t_scale]: the paper's
+    constant 400 certifies the w.h.p. guarantee but produces sparsifiers
+    denser than any feasible input; experiments certify quality a posteriori
+    with {!Certify} instead (see DESIGN.md, substitution 3). *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+
+type result = {
+  sparsifier : Graph.t;
+      (** the reweighted subgraph [H]; edge ids are fresh *)
+  edge_origin : int array;
+      (** original edge id of each sparsifier edge *)
+  orientation : (int * int) array;
+      (** per sparsifier edge, [(from, to)] with the edge charged to [from]
+          (Theorem 1.2's bounded out-degree orientation) *)
+  rounds : int;  (** Broadcast CONGEST rounds charged *)
+  bundle_sizes : int list;  (** bundle size per iteration *)
+  final_sampled : int;  (** leftover probabilistic edges kept at the end *)
+}
+
+val default_k : n:int -> int
+val default_iterations : m:int -> int
+val default_t : ?t_scale:float -> n:int -> epsilon:float -> unit -> int
+
+val run :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?k:int ->
+  ?t:int ->
+  ?t_scale:float ->
+  ?iterations:int ->
+  prng:Prng.t ->
+  graph:Graph.t ->
+  epsilon:float ->
+  unit ->
+  result
+(** @raise Invalid_argument on non-positive [epsilon] or an empty graph. *)
+
+val out_degrees : result -> int array
+(** Out-degree profile of the orientation, indexed by vertex. *)
+
+val resparsify :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?k:int ->
+  ?t:int ->
+  ?t_scale:float ->
+  prng:Lbcc_util.Prng.t ->
+  graphs:Graph.t list ->
+  epsilon:float ->
+  unit ->
+  result
+(** Resparsification (the Kyng–Pachocki–Peng–Sachdeva framework behind
+    Theorem 3.4): sparsify the edge union of several (reweighted)
+    sparsifiers over the same vertex set — e.g. to maintain a sparsifier of
+    a growing graph by periodically re-sparsifying [old sparsifier ∪ new
+    edges].  Errors compose multiplicatively: if each input is a
+    [(1±eps_i)]-sparsifier of its graph and the output a
+    [(1±eps)]-sparsifier of the union, the result approximates the union
+    of the originals within [(1±eps) * prod (1±eps_i)].
+    @raise Invalid_argument on an empty list or mismatched vertex sets. *)

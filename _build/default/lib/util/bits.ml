@@ -1,0 +1,23 @@
+let bit_length n =
+  let n = abs n in
+  if n = 0 then 1
+  else begin
+    let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  end
+
+let int_bits n = 1 + bit_length n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bits.ceil_log2: n must be >= 1";
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+let id_bits ~n = max 1 (ceil_log2 (max 2 n))
+
+let float_bits () = 64
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bits.ceil_div: b must be positive";
+  if a < 0 then invalid_arg "Bits.ceil_div: a must be nonnegative";
+  (a + b - 1) / b

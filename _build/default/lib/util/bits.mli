@@ -1,0 +1,26 @@
+(** Bit-size accounting for simulated messages.
+
+    The models charge one round per [B = Theta(log n)] bits broadcast; these
+    helpers compute how many bits a payload occupies so the network layer can
+    charge rounds faithfully. *)
+
+val bit_length : int -> int
+(** Number of bits needed to write [abs n] in binary; [bit_length 0 = 1]. *)
+
+val int_bits : int -> int
+(** Bits to encode a (possibly negative) integer: sign bit + magnitude. *)
+
+val id_bits : n:int -> int
+(** Bits of a vertex identifier in an [n]-vertex network: [ceil(log2 n)],
+    at least 1. *)
+
+val float_bits : unit -> int
+(** Bits charged for a fixed-precision real message entry.  We charge the
+    size of an IEEE double (64); the paper charges [O(log (nU/eps))] which is
+    the same regime for all experiments we run. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil(a/b)] for positive [b], nonnegative [a]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] for [n >= 1]; [ceil_log2 1 = 0]. *)

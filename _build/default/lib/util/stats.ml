@@ -1,0 +1,70 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n <= 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty array";
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = quantile xs 0.5;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.count
+    s.mean s.stddev s.min s.median s.max
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then
+    invalid_arg "Stats.linear_fit: need two arrays of equal length >= 2";
+  let fx = mean xs and fy = mean ys in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    num := !num +. ((xs.(i) -. fx) *. (ys.(i) -. fy));
+    den := !den +. ((xs.(i) -. fx) *. (xs.(i) -. fx))
+  done;
+  let slope = if !den = 0.0 then 0.0 else !num /. !den in
+  (slope, fy -. (slope *. fx))
+
+let scaling_exponent ns ys =
+  let lx = Array.map log ns and ly = Array.map log ys in
+  fst (linear_fit lx ly)

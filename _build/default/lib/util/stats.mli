@@ -1,0 +1,35 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] for arrays of length [<= 1]. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0,1\]], linear interpolation between order
+    statistics.  Does not mutate its argument. *)
+
+val summarize : float array -> summary
+(** Full summary; raises [Invalid_argument] on the empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares line.
+    Used for estimating scaling exponents from log-log data. *)
+
+val scaling_exponent : float array -> float array -> float
+(** [scaling_exponent ns ys] fits [y ~ c * n^a] by regressing
+    [log y] on [log n] and returns [a].  All inputs must be positive. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Lbcc_core Lbcc_flow Lbcc_graph Lbcc_linalg Lbcc_util List Prng QCheck QCheck_alcotest String

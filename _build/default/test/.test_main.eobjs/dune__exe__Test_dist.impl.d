@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Lbcc_dist Lbcc_graph Lbcc_net Lbcc_util List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Lbcc_core Lbcc_flow Lbcc_graph Lbcc_linalg Lbcc_lp Lbcc_net Lbcc_util List Printf Prng Stdlib

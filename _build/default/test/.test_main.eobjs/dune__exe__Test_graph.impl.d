@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun Lbcc_graph Lbcc_linalg Lbcc_util List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Lbcc_flow Lbcc_graph Lbcc_util Printf Prng String Sys

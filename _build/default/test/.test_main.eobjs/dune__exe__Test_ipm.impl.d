@@ -1,0 +1,1 @@
+test/test_ipm.ml: Alcotest Array Float Fun Lbcc_linalg Lbcc_lp Lbcc_util List Printf Prng

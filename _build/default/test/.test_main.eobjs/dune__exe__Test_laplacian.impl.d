@@ -1,0 +1,1 @@
+test/test_laplacian.ml: Alcotest Array Float Lbcc_graph Lbcc_laplacian Lbcc_linalg Lbcc_util List Printf Prng QCheck QCheck_alcotest

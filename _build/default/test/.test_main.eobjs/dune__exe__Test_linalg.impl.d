@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Gen Lbcc_linalg Lbcc_util Printf Prng QCheck QCheck_alcotest

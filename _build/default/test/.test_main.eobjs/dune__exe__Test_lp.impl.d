@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Lbcc_linalg Lbcc_lp Lbcc_net Lbcc_util List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_dist Test_flow Test_graph Test_io Test_ipm Test_laplacian Test_linalg Test_lp Test_net Test_spanner Test_sparsifier Test_util

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bits Lbcc_graph Lbcc_net Lbcc_util List Printf Prng

@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Array Float Fun Hashtbl Lbcc_graph Lbcc_net Lbcc_spanner Lbcc_sparsifier Lbcc_util List Printf Prng Stdlib

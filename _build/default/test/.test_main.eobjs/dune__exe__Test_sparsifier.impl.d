@@ -1,0 +1,1 @@
+test/test_sparsifier.ml: Alcotest Array Float Lbcc_graph Lbcc_sparsifier Lbcc_util List Printf Prng Stats Stdlib

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Float Fun Gen Heap Lbcc_util List Prng QCheck QCheck_alcotest Stats

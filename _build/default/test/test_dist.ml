@@ -1,0 +1,155 @@
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+module Paths = Lbcc_graph.Paths
+module Model = Lbcc_net.Model
+module Bfs = Lbcc_dist.Bfs
+module Sssp = Lbcc_dist.Sssp
+module Leader = Lbcc_dist.Leader
+
+let test_bfs_matches_reference () =
+  for seed = 1 to 5 do
+    let prng = Prng.create seed in
+    let g = Gen.erdos_renyi_connected prng ~n:24 ~p:0.15 ~w_max:1 in
+    let r = Bfs.run ~model:Model.broadcast_congest ~graph:g ~source:0 () in
+    let expect = Paths.bfs_hops g ~src:0 in
+    Alcotest.(check (array int)) (Printf.sprintf "seed %d" seed) expect r.Bfs.dist
+  done
+
+let test_bfs_parents_form_tree () =
+  let prng = Prng.create 6 in
+  let g = Gen.erdos_renyi_connected prng ~n:20 ~p:0.2 ~w_max:1 in
+  let r = Bfs.run ~model:Model.broadcast_congest ~graph:g ~source:0 () in
+  Array.iteri
+    (fun v p ->
+      if v <> 0 then begin
+        Alcotest.(check bool) "has parent" true (p >= 0);
+        Alcotest.(check int) "parent one hop closer" (r.Bfs.dist.(v) - 1) r.Bfs.dist.(p)
+      end)
+    r.Bfs.parent
+
+let test_bfs_rounds_track_diameter () =
+  let prng = Prng.create 7 in
+  let ring = Gen.ring prng ~n:32 in
+  let r = Bfs.run ~model:Model.broadcast_congest ~graph:ring ~source:0 () in
+  (* Hop diameter of a 32-ring is 16; the wave needs ~that many supersteps. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "supersteps %d ~ diameter 16" r.Bfs.supersteps)
+    true
+    (r.Bfs.supersteps >= 16 && r.Bfs.supersteps <= 20)
+
+let test_bfs_clique_is_flat () =
+  let prng = Prng.create 8 in
+  let ring = Gen.ring prng ~n:32 in
+  let bc = Bfs.run ~model:Model.broadcast_congest ~graph:ring ~source:0 () in
+  let bcc = Bfs.run ~model:Model.broadcast_congested_clique ~graph:ring ~source:0 () in
+  Alcotest.(check bool) "clique flattens the wave" true
+    (bcc.Bfs.supersteps < bc.Bfs.supersteps);
+  (* In the clique topology hop distance is 1 for everyone. *)
+  Array.iteri
+    (fun v d -> if v <> 0 then Alcotest.(check int) "one hop" 1 d)
+    bcc.Bfs.dist
+
+let test_sssp_matches_dijkstra () =
+  List.iter
+    (fun model ->
+      for seed = 1 to 4 do
+        let prng = Prng.create (10 + seed) in
+        let g = Gen.erdos_renyi_connected prng ~n:20 ~p:0.2 ~w_max:9 in
+        let r = Sssp.run ~model ~graph:g ~source:0 () in
+        let expect = Paths.dijkstra g ~src:0 in
+        Array.iteri
+          (fun v d ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "seed %d vertex %d" seed v)
+              expect.(v) d)
+          r.Sssp.dist
+      done)
+    [ Model.broadcast_congest; Model.broadcast_congested_clique ]
+
+let test_sssp_parents_consistent () =
+  let prng = Prng.create 15 in
+  let g = Gen.erdos_renyi_connected prng ~n:18 ~p:0.25 ~w_max:5 in
+  let r = Sssp.run ~model:Model.broadcast_congest ~graph:g ~source:0 () in
+  Array.iteri
+    (fun v p ->
+      if v <> 0 && p >= 0 then begin
+        (* dist(v) = dist(parent) + w(parent, v) *)
+        let w =
+          List.find_map
+            (fun (u, eid) ->
+              if u = p then Some (Graph.edge g eid).Graph.w else None)
+            (Graph.neighbors g v)
+        in
+        match w with
+        | Some w ->
+            Alcotest.(check (float 1e-9)) "tree edge tight" r.Sssp.dist.(v)
+              (r.Sssp.dist.(p) +. w)
+        | None -> Alcotest.fail "parent is not a neighbor"
+      end)
+    r.Sssp.parent
+
+let test_sssp_rounds_charged () =
+  let prng = Prng.create 16 in
+  let g = Gen.ring prng ~n:16 ~w_max:4 in
+  let acc = Lbcc_net.Rounds.create ~bandwidth:(Model.bandwidth ~n:16) in
+  let r = Sssp.run ~accountant:acc ~model:Model.broadcast_congest ~graph:g ~source:0 () in
+  Alcotest.(check bool) "rounds charged" true (Lbcc_net.Rounds.rounds acc >= r.Sssp.supersteps)
+
+let test_leader_agreement () =
+  List.iter
+    (fun model ->
+      let prng = Prng.create 17 in
+      let g = Gen.erdos_renyi_connected prng ~n:24 ~p:0.2 ~w_max:1 in
+      let r = Leader.run ~model ~graph:g () in
+      Alcotest.(check int) "min id wins" 0 r.Leader.leader)
+    [ Model.broadcast_congest; Model.broadcast_congested_clique ]
+
+let test_leader_clique_fast () =
+  let prng = Prng.create 18 in
+  let ring = Gen.ring prng ~n:40 in
+  let bc = Leader.run ~model:Model.broadcast_congest ~graph:ring () in
+  let bcc = Leader.run ~model:Model.broadcast_congested_clique ~graph:ring () in
+  Alcotest.(check bool)
+    (Printf.sprintf "clique %d < ring %d supersteps" bcc.Leader.supersteps
+       bc.Leader.supersteps)
+    true
+    (bcc.Leader.supersteps < bc.Leader.supersteps)
+
+let test_leader_rejects_disconnected () =
+  let g = Graph.create ~n:4 [ { Graph.u = 0; v = 1; w = 1.0 }; { u = 2; v = 3; w = 1.0 } ] in
+  Alcotest.check_raises "disconnected" (Invalid_argument "Leader.run: graph must be connected")
+    (fun () -> ignore (Leader.run ~model:Model.broadcast_congest ~graph:g ()))
+
+let prop_sssp_random_graphs =
+  QCheck.Test.make ~name:"distributed SSSP equals Dijkstra" ~count:15
+    QCheck.small_int (fun seed ->
+      let prng = Prng.create (3000 + seed) in
+      let g = Gen.erdos_renyi_connected prng ~n:14 ~p:0.25 ~w_max:7 in
+      let r = Sssp.run ~model:Model.broadcast_congest ~graph:g ~source:0 () in
+      let expect = Paths.dijkstra g ~src:0 in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) expect r.Sssp.dist)
+
+let suites =
+  [
+    ( "dist.bfs",
+      [
+        Alcotest.test_case "matches reference" `Quick test_bfs_matches_reference;
+        Alcotest.test_case "parents form tree" `Quick test_bfs_parents_form_tree;
+        Alcotest.test_case "rounds track diameter" `Quick test_bfs_rounds_track_diameter;
+        Alcotest.test_case "clique is flat" `Quick test_bfs_clique_is_flat;
+      ] );
+    ( "dist.sssp",
+      [
+        Alcotest.test_case "matches dijkstra" `Quick test_sssp_matches_dijkstra;
+        Alcotest.test_case "parents consistent" `Quick test_sssp_parents_consistent;
+        Alcotest.test_case "rounds charged" `Quick test_sssp_rounds_charged;
+        QCheck_alcotest.to_alcotest prop_sssp_random_graphs;
+      ] );
+    ( "dist.leader",
+      [
+        Alcotest.test_case "agreement" `Quick test_leader_agreement;
+        Alcotest.test_case "clique fast" `Quick test_leader_clique_fast;
+        Alcotest.test_case "rejects disconnected" `Quick test_leader_rejects_disconnected;
+      ] );
+  ]

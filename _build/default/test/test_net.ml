@@ -1,0 +1,236 @@
+open Lbcc_util
+module Model = Lbcc_net.Model
+module Rounds = Lbcc_net.Rounds
+module Payload = Lbcc_net.Payload
+module Engine = Lbcc_net.Engine
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Model / payload                                                     *)
+
+let test_model_names () =
+  Alcotest.(check string) "bcc" "Broadcast Congested Clique"
+    (Model.name Model.broadcast_congested_clique);
+  Alcotest.(check string) "bc" "Broadcast CONGEST" (Model.name Model.broadcast_congest)
+
+let test_model_bandwidth () =
+  Alcotest.(check int) "n=1024" 20 (Model.bandwidth ~n:1024);
+  Alcotest.(check bool) "grows" true (Model.bandwidth ~n:4096 > Model.bandwidth ~n:16)
+
+let test_payload_sizes () =
+  Alcotest.(check int) "vertex id n=256" 8 (Payload.size [ Vertex_id 256 ]);
+  Alcotest.(check bool) "weight integral small" true
+    (Payload.size [ Weight 5.0 ] < Payload.size [ Weight 5.5 ]);
+  Alcotest.(check int) "fractional weight costs a double" 64
+    (Payload.size [ Weight 5.5 ]);
+  Alcotest.(check int) "empty still 1 bit" 1 (Payload.size [])
+
+let test_payload_weight_bits () =
+  Alcotest.(check int) "w=1" (Payload.weight_bits 1.0) (1 + 1);
+  Alcotest.(check int) "w=1024" (Payload.weight_bits 1024.0) (1 + 11)
+
+(* ------------------------------------------------------------------ *)
+(* Rounds accountant                                                   *)
+
+let test_rounds_charging () =
+  let acc = Rounds.create ~bandwidth:10 in
+  Rounds.charge acc ~label:"a" ~rounds:3;
+  Rounds.charge_broadcast acc ~label:"b" ~bits:25;
+  (* ceil(25/10) = 3 *)
+  Alcotest.(check int) "total" 6 (Rounds.rounds acc);
+  Alcotest.(check (list (pair string int))) "breakdown" [ ("a", 3); ("b", 3) ]
+    (Rounds.breakdown acc)
+
+let test_rounds_small_message_one_round () =
+  let acc = Rounds.create ~bandwidth:16 in
+  Rounds.charge_broadcast acc ~label:"x" ~bits:1;
+  Alcotest.(check int) "at least one round" 1 (Rounds.rounds acc)
+
+let test_rounds_reset_checkpoint () =
+  let acc = Rounds.create ~bandwidth:8 in
+  Rounds.charge acc ~label:"x" ~rounds:5;
+  let cp = Rounds.checkpoint acc in
+  Rounds.charge acc ~label:"x" ~rounds:2;
+  Alcotest.(check int) "diff" 2 (Rounds.rounds acc - cp);
+  Rounds.reset acc;
+  Alcotest.(check int) "reset" 0 (Rounds.rounds acc)
+
+let test_rounds_rejects_bad () =
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Rounds.create: bandwidth must be >= 1") (fun () ->
+      ignore (Rounds.create ~bandwidth:0))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: a BFS vertex program                                        *)
+
+type bfs_state = { dist : int option }
+
+let bfs_program graph model =
+  let n = Graph.n graph in
+  let init v = { dist = (if v = 0 then Some 0 else None) } in
+  let step ~round ~vertex:_ state inbox =
+    match state.dist with
+    | Some d ->
+        (* The root announces in the first superstep and halts. *)
+        if round = 1 then (state, Some d, false) else (state, None, false)
+    | None -> (
+        match inbox with
+        | (_, d) :: _ ->
+            (* Learn, announce immediately, halt. *)
+            let d' = d + 1 in
+            ({ dist = Some d' }, Some d', false)
+        | [] -> (state, None, true))
+  in
+  Engine.run ~model ~graph ~size_bits:(fun d -> Bits.int_bits d) ~init ~step
+    ~max_supersteps:(2 * n) ()
+
+let test_engine_bfs_distances () =
+  let prng = Prng.create 21 in
+  let g = Gen.ring prng ~n:8 in
+  let states, _ = bfs_program g Model.broadcast_congest in
+  let hops = Lbcc_graph.Paths.bfs_hops g ~src:0 in
+  Array.iteri
+    (fun v st ->
+      match st.dist with
+      | Some d -> Alcotest.(check int) (Printf.sprintf "dist %d" v) hops.(v) d
+      | None -> Alcotest.fail "vertex never reached")
+    states
+
+let test_engine_bfs_rounds_ring_vs_clique () =
+  let prng = Prng.create 22 in
+  let g = Gen.ring prng ~n:16 in
+  let _, bc = bfs_program g Model.broadcast_congest in
+  let _, bcc = bfs_program g Model.broadcast_congested_clique in
+  (* In the clique the wave reaches everyone in O(1) hops regardless of the
+     ring structure. *)
+  Alcotest.(check bool) "clique much faster" true (bcc.Engine.supersteps < bc.Engine.supersteps)
+
+let test_engine_rejects_unicast () =
+  let prng = Prng.create 23 in
+  let g = Gen.ring prng ~n:4 in
+  Alcotest.check_raises "unicast rejected"
+    (Invalid_argument "Engine.run: only broadcast disciplines are simulated")
+    (fun () ->
+      ignore
+        (Engine.run ~model:Model.congest ~graph:g ~size_bits:(fun _ -> 1)
+           ~init:(fun _ -> ())
+           ~step:(fun ~round:_ ~vertex:_ s _ -> (s, None, false))
+           ()))
+
+let test_engine_charges_accountant () =
+  let prng = Prng.create 24 in
+  let g = Gen.ring prng ~n:8 in
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n:8) in
+  let _ =
+    Engine.run ~accountant:acc ~label:"flood" ~model:Model.broadcast_congest
+      ~graph:g
+      ~size_bits:(fun () -> 4)
+      ~init:(fun _ -> 0)
+      ~step:(fun ~round ~vertex:_ k _ ->
+        if round <= 3 then (k + 1, Some (), true) else (k, None, false))
+      ()
+  in
+  Alcotest.(check bool) "charged" true (Rounds.rounds acc >= 3);
+  Alcotest.(check bool) "labeled" true
+    (List.mem_assoc "flood" (Rounds.breakdown acc))
+
+let test_engine_big_messages_cost_more () =
+  let prng = Prng.create 25 in
+  let g = Gen.ring prng ~n:8 in
+  let run bits =
+    let _, stats =
+      Engine.run ~model:Model.broadcast_congest ~graph:g
+        ~size_bits:(fun () -> bits)
+        ~init:(fun _ -> 0)
+        ~step:(fun ~round ~vertex:_ k _ ->
+          if round = 1 then (k, Some (), true) else (k, None, false))
+        ()
+    in
+    stats.Engine.rounds
+  in
+  Alcotest.(check bool) "100-bit message costs more rounds" true (run 100 > run 3)
+
+(* Unicast: a token-passing ring program — each vertex forwards a counter
+   to its clockwise neighbor; after n hops the token returns home. *)
+let test_engine_unicast_ring_token () =
+  let prng = Prng.create 26 in
+  let n = 8 in
+  let g = Gen.ring prng ~n in
+  let next v = (v + 1) mod n in
+  let init v = if v = 0 then Some 0 else None in
+  let step ~round:_ ~vertex st (inbox : int Engine.inbox) =
+    match (st, inbox) with
+    | Some 0, [] when vertex = 0 -> (Some 0, [ (next 0, 1) ], true)
+    | _, (_, hops) :: _ ->
+        if vertex = 0 then (Some hops, [], false)
+        else (Some hops, [ (next vertex, hops + 1) ], false)
+    | st, [] -> (st, [], true)
+  in
+  let states, stats =
+    Engine.run_unicast ~model:Model.congest ~graph:g
+      ~size_bits:(fun h -> Bits.int_bits h)
+      ~init ~step ~max_supersteps:(4 * n) ()
+  in
+  Alcotest.(check (option int)) "token returned with n hops" (Some n) states.(0);
+  Alcotest.(check bool) "took ~n supersteps" true (stats.Engine.supersteps >= n)
+
+let test_engine_unicast_rejects_nonneighbor () =
+  let prng = Prng.create 27 in
+  let g = Gen.ring prng ~n:6 in
+  Alcotest.check_raises "non-neighbor"
+    (Invalid_argument "Engine.run_unicast: message to a non-neighbor") (fun () ->
+      ignore
+        (Engine.run_unicast ~model:Model.congest ~graph:g
+           ~size_bits:(fun () -> 1)
+           ~init:(fun _ -> ())
+           ~step:(fun ~round:_ ~vertex:_ s _ -> (s, [ (3, ()) ], false))
+           ()))
+
+let test_engine_unicast_clique_allows_all () =
+  let prng = Prng.create 28 in
+  let g = Gen.ring prng ~n:6 in
+  (* In the (unicast) Congested Clique, vertex 0 may message vertex 3
+     directly even though the ring has no such edge. *)
+  let states, _ =
+    Engine.run_unicast ~model:Model.congested_clique ~graph:g
+      ~size_bits:(fun () -> 1)
+      ~init:(fun v -> v = 3 && false)
+      ~step:(fun ~round ~vertex st inbox ->
+        if round = 1 && vertex = 0 then (st, [ (3, ()) ], false)
+        else if inbox <> [] then (true, [], false)
+        else (st, [], round < 3))
+      ()
+  in
+  Alcotest.(check bool) "vertex 3 received" true states.(3)
+
+let suites =
+  [
+    ( "net.model",
+      [
+        Alcotest.test_case "names" `Quick test_model_names;
+        Alcotest.test_case "bandwidth" `Quick test_model_bandwidth;
+        Alcotest.test_case "payload sizes" `Quick test_payload_sizes;
+        Alcotest.test_case "weight bits" `Quick test_payload_weight_bits;
+      ] );
+    ( "net.rounds",
+      [
+        Alcotest.test_case "charging" `Quick test_rounds_charging;
+        Alcotest.test_case "one round minimum" `Quick test_rounds_small_message_one_round;
+        Alcotest.test_case "reset/checkpoint" `Quick test_rounds_reset_checkpoint;
+        Alcotest.test_case "rejects bad bandwidth" `Quick test_rounds_rejects_bad;
+      ] );
+    ( "net.engine",
+      [
+        Alcotest.test_case "bfs distances" `Quick test_engine_bfs_distances;
+        Alcotest.test_case "ring vs clique" `Quick test_engine_bfs_rounds_ring_vs_clique;
+        Alcotest.test_case "rejects unicast" `Quick test_engine_rejects_unicast;
+        Alcotest.test_case "charges accountant" `Quick test_engine_charges_accountant;
+        Alcotest.test_case "message size matters" `Quick test_engine_big_messages_cost_more;
+        Alcotest.test_case "unicast ring token" `Quick test_engine_unicast_ring_token;
+        Alcotest.test_case "unicast rejects non-neighbor" `Quick
+          test_engine_unicast_rejects_nonneighbor;
+        Alcotest.test_case "unicast clique topology" `Quick
+          test_engine_unicast_clique_allows_all;
+      ] );
+  ]
