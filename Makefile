@@ -1,0 +1,31 @@
+CLI := ./_build/default/bin/lbcc_cli.exe
+
+.PHONY: all build test smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Fault-injection smoke run: the reliable-broadcast layer must reproduce the
+# lossless outputs under 20% drop + an injected crash, and the raw engine run
+# must still terminate honestly.  Greps assert the recovery, not just exit 0.
+smoke: build
+	$(CLI) dist --algo bfs --vertices 24 --drop-prob 0.2 --crash 23@30 \
+	  --fault-seed 7 | grep -q 'matches lossless run: true'
+	$(CLI) dist --algo sssp --drop-prob 0.15 --dup-prob 0.05 --fault-seed 3 \
+	  | grep -q 'matches lossless run: true'
+	$(CLI) dist --algo leader --model bcc --drop-prob 0.2 \
+	  | grep -q 'matches lossless run: true'
+	$(CLI) dist --algo bfs --raw --drop-prob 0.3 --fault-seed 2 \
+	  | grep -q 'converged='
+	$(CLI) sparsify --vertices 48 --max-retries 2 | grep -q 'verdict=ok'
+	@echo "smoke: OK"
+
+ci: build test smoke
+
+clean:
+	dune clean

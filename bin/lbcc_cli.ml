@@ -1,10 +1,11 @@
 (* Command-line front end: generate inputs, run the three main algorithms,
-   inspect round counts.
+   inspect round counts, script robustness experiments.
 
-     lbcc sparsify --vertices 64 --family er --epsilon 0.5
+     lbcc sparsify --vertices 64 --family er --epsilon 0.5 --max-retries 3
      lbcc solve    --vertices 64 --family grid --eps 1e-8
      lbcc spanner  --vertices 96 --stretch 3 --edge-prob 0.5
      lbcc flow     --vertices 8 --density 0.3 --max-capacity 6 --max-cost 5
+     lbcc dist     --algo sssp --drop-prob 0.2 --crash 5@30 --fault-seed 7
 *)
 
 open Cmdliner
@@ -13,6 +14,13 @@ module Graph = Lbcc_graph.Graph
 module Gen = Lbcc_graph.Gen
 module Vec = Lbcc_linalg.Vec
 module Lbcc = Lbcc_core.Lbcc
+module Resilient = Lbcc_core.Resilient
+module Model = Lbcc_net.Model
+module Rounds = Lbcc_net.Rounds
+module Fault = Lbcc_net.Fault
+module Bfs = Lbcc_dist.Bfs
+module Sssp = Lbcc_dist.Sssp
+module Leader = Lbcc_dist.Leader
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -54,6 +62,88 @@ let pp_rounds (r : Lbcc.rounds_report) =
   List.iter (fun (label, rds) -> Printf.printf "  %-28s %d\n" label rds) r.Lbcc.breakdown
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection and retry arguments                                 *)
+
+let drop_prob_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "drop-prob" ] ~docv:"P"
+        ~doc:"Per-delivery message drop probability (fault injection).")
+
+let dup_prob_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "dup-prob" ] ~docv:"P"
+        ~doc:"Per-delivery message duplication probability (fault injection).")
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ v; r ] -> (
+        match (int_of_string_opt v, int_of_string_opt r) with
+        | Some v, Some r -> Ok (v, r)
+        | _ -> Error (`Msg "expected V@R (vertex@superstep)"))
+    | _ -> Error (`Msg "expected V@R (vertex@superstep)")
+  in
+  Arg.conv (parse, fun ppf (v, r) -> Format.fprintf ppf "%d@%d" v r)
+
+let crash_arg =
+  Arg.(
+    value
+    & opt_all crash_conv []
+    & info [ "crash" ] ~docv:"V@R"
+        ~doc:"Crash-stop vertex V at superstep R; repeatable.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the deterministic fault schedule.")
+
+let make_faults drop_prob dup_prob crashes fault_seed =
+  let bad fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
+  if drop_prob < 0.0 || drop_prob >= 1.0 then
+    bad "--drop-prob must be in [0, 1) (got %g)" drop_prob
+  else if dup_prob < 0.0 || dup_prob >= 1.0 then
+    bad "--dup-prob must be in [0, 1) (got %g)" dup_prob
+  else if drop_prob = 0.0 && dup_prob = 0.0 && crashes = [] then Ok None
+  else
+    Ok
+      (Some
+         (Fault.create ~seed:fault_seed
+            (Fault.spec ~drop_prob ~duplicate_prob:dup_prob ~crashes ())))
+
+let faults_term =
+  Term.term_result
+    Term.(
+      const make_faults $ drop_prob_arg $ dup_prob_arg $ crash_arg
+      $ fault_seed_arg)
+
+let max_retries_arg =
+  let arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Run through the self-healing Resilient wrapper with up to N \
+             retries; prints an ok/degraded/failed verdict and the attempt \
+             log.")
+  in
+  let validate = function
+    | Some n when n < 0 -> Error (`Msg "--max-retries must be >= 0")
+    | v -> Ok v
+  in
+  Term.term_result Term.(const validate $ arg)
+
+let pp_outcome name (o : _ Resilient.outcome) =
+  Printf.printf "%s: %s\n%!" name
+    (Format.asprintf "%a" Resilient.pp o)
+
+(* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 
 let sparsify_cmd =
@@ -61,35 +151,56 @@ let sparsify_cmd =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Target spectral error.")
   in
   let t = Arg.(value & opt (some int) None & info [ "t"; "bundle" ] ~doc:"Bundle size override.") in
-  let run seed n family w_max epsilon t =
+  let run seed n family w_max epsilon t max_retries =
     let g = make_graph family seed n w_max in
     Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
-    let r = Lbcc.sparsify ~seed ~epsilon ?t g in
-    Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
-      (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
-    pp_rounds r.Lbcc.rounds
+    match max_retries with
+    | Some max_retries ->
+        let o = Resilient.sparsify ~seed ~epsilon ?t ~max_retries g in
+        pp_outcome "sparsify" o;
+        Option.iter
+          (fun (r : Lbcc.sparsifier_result) ->
+            Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
+              (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
+            pp_rounds r.Lbcc.rounds)
+          o.Resilient.value
+    | None ->
+        let r = Lbcc.sparsify ~seed ~epsilon ?t g in
+        Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
+          (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
+        pp_rounds r.Lbcc.rounds
   in
   Cmd.v
     (Cmd.info "sparsify" ~doc:"Spectral sparsification (Theorem 1.2)")
-    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t)
+    Term.(
+      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
+      $ max_retries_arg)
 
 let solve_cmd =
   let eps = Arg.(value & opt float 1e-8 & info [ "eps" ] ~doc:"Solution accuracy.") in
-  let run seed n family w_max eps =
+  let run seed n family w_max eps max_retries =
     let g = make_graph family seed n w_max in
     let nv = Graph.n g in
     Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
     let prng = Prng.create (seed + 1) in
     let b = Vec.mean_center (Vec.init nv (fun _ -> Prng.gaussian prng)) in
-    let r = Lbcc.solve_laplacian ~seed ~eps g ~b in
-    Printf.printf
-      "solved L x = b: residual %.2e in %d iterations\n\
-       rounds: %d preprocessing + %d per solve\n"
-      r.Lbcc.residual r.Lbcc.iterations r.Lbcc.preprocessing_rounds r.Lbcc.solve_rounds
+    let report (r : Lbcc.laplacian_result) =
+      Printf.printf
+        "solved L x = b: residual %.2e in %d iterations\n\
+         rounds: %d preprocessing + %d per solve\n"
+        r.Lbcc.residual r.Lbcc.iterations r.Lbcc.preprocessing_rounds
+        r.Lbcc.solve_rounds
+    in
+    match max_retries with
+    | Some max_retries ->
+        let o = Resilient.solve_laplacian ~seed ~eps ~max_retries g ~b in
+        pp_outcome "solve" o;
+        Option.iter report o.Resilient.value
+    | None -> report (Lbcc.solve_laplacian ~seed ~eps g ~b)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Laplacian solving (Theorem 1.3)")
-    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps)
+    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps $ max_retries_arg)
 
 let spanner_cmd =
   let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
@@ -135,7 +246,7 @@ let flow_cmd =
       & info [ "output-dot" ] ~docv:"FILE"
           ~doc:"Write the network with the optimal flow as Graphviz DOT.")
   in
-  let run seed n density max_capacity max_cost input output_dot =
+  let run seed n density max_capacity max_cost input output_dot max_retries =
     let net =
       match input with
       | Some path -> Lbcc_flow.Network_io.load path
@@ -145,27 +256,150 @@ let flow_cmd =
     in
     Printf.printf "network: n=%d m=%d\n" net.Lbcc_flow.Network.n
       (Lbcc_flow.Network.m net);
-    let r = Lbcc.min_cost_max_flow ~seed net in
-    Printf.printf
-      "min-cost max-flow: value=%d cost=%d  exact vs baseline=%b\n\
-       IPM iterations=%d  total rounds=%d\n"
-      r.Lbcc.value r.Lbcc.cost r.Lbcc.exact r.Lbcc.ipm_iterations
-      r.Lbcc.rounds.Lbcc.total;
-    match output_dot with
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc (Lbcc_flow.Network_io.to_dot ~flow:r.Lbcc.flow net));
-        Printf.printf "wrote %s\n" path
-    | None -> ()
+    let report (r : Lbcc.flow_result) =
+      Printf.printf
+        "min-cost max-flow: value=%d cost=%d  exact vs baseline=%b\n\
+         IPM iterations=%d  total rounds=%d\n"
+        r.Lbcc.value r.Lbcc.cost r.Lbcc.exact r.Lbcc.ipm_iterations
+        r.Lbcc.rounds.Lbcc.total;
+      match output_dot with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Lbcc_flow.Network_io.to_dot ~flow:r.Lbcc.flow net));
+          Printf.printf "wrote %s\n" path
+      | None -> ()
+    in
+    match max_retries with
+    | Some max_retries ->
+        let o = Resilient.min_cost_max_flow ~seed ~max_retries net in
+        pp_outcome "flow" o;
+        Option.iter report o.Resilient.value
+    | None -> report (Lbcc.min_cost_max_flow ~seed net)
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Exact minimum-cost maximum flow (Theorem 1.1)")
     Term.(
       const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
-      $ output_dot)
+      $ output_dot $ max_retries_arg)
+
+let dist_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("bfs", `Bfs); ("sssp", `Sssp); ("leader", `Leader) ]) `Bfs
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Protocol: bfs, sssp or leader.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("bc", Model.broadcast_congest);
+               ("bcc", Model.broadcast_congested_clique) ])
+          Model.broadcast_congest
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Broadcast model: bc (Broadcast CONGEST) or bcc (Broadcast \
+             Congested Clique).")
+  in
+  let source_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "source" ] ~docv:"V" ~doc:"Source vertex for bfs/sssp.")
+  in
+  let patience_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "patience" ] ~docv:"K"
+          ~doc:
+            "Reliable broadcast suspects a neighbor crashed after K silent \
+             supersteps.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Run the lossy engine directly instead of wrapping the protocol \
+             in the reliable-broadcast layer.")
+  in
+  let run seed n family w_max algo model source patience raw faults =
+    let g = make_graph family seed n w_max in
+    let nv = Graph.n g in
+    let source = if source < 0 || source >= nv then 0 else source in
+    Printf.printf "input: n=%d m=%d  model=%s\n" nv (Graph.m g) (Model.name model);
+    (match faults with
+    | Some f -> Printf.printf "faults: %s\n" (Format.asprintf "%a" Fault.pp f)
+    | None -> Printf.printf "faults: none\n");
+    let acct = Rounds.create ~bandwidth:(Model.bandwidth ~n:nv) in
+    (* Lossless baseline with the same protocol seed, for the recovery check. *)
+    let reliable = (not raw) && faults <> None in
+    (match algo with
+    | `Bfs ->
+        let baseline = Bfs.run ~model ~graph:g ~source () in
+        let r =
+          if reliable then
+            Bfs.run_reliable ~accountant:acct ?faults ?patience ~model ~graph:g
+              ~source ()
+          else Bfs.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+        in
+        let reached =
+          Array.fold_left (fun k d -> if d < max_int then k + 1 else k) 0 r.Bfs.dist
+        in
+        Printf.printf
+          "bfs: reached %d/%d vertices  supersteps=%d  converged=%b\n\
+           matches lossless run: %b\n"
+          reached nv r.Bfs.supersteps r.Bfs.converged
+          (r.Bfs.dist = baseline.Bfs.dist)
+    | `Sssp ->
+        let baseline = Sssp.run ~model ~graph:g ~source () in
+        let r =
+          if reliable then
+            Sssp.run_reliable ~accountant:acct ?faults ?patience ~model ~graph:g
+              ~source ()
+          else Sssp.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+        in
+        let reached =
+          Array.fold_left
+            (fun k d -> if Float.is_finite d then k + 1 else k)
+            0 r.Sssp.dist
+        in
+        Printf.printf
+          "sssp: reached %d/%d vertices  supersteps=%d  converged=%b\n\
+           matches lossless run: %b\n"
+          reached nv r.Sssp.supersteps r.Sssp.converged
+          (r.Sssp.dist = baseline.Sssp.dist)
+    | `Leader ->
+        let baseline = Leader.run ~model ~graph:g () in
+        let r =
+          if reliable then
+            Leader.run_reliable ~accountant:acct ?faults ?patience ~model
+              ~graph:g ()
+          else Leader.run ~accountant:acct ?faults ~model ~graph:g ()
+        in
+        Printf.printf
+          "leader: elected %d  supersteps=%d  converged=%b\n\
+           matches lossless run: %b\n"
+          r.Leader.leader r.Leader.supersteps r.Leader.converged
+          (r.Leader.leader = baseline.Leader.leader));
+    Printf.printf "rounds: %d total (B = %d bits/message)\n" (Rounds.rounds acct)
+      (Rounds.bandwidth acct);
+    List.iter
+      (fun (label, rds) -> Printf.printf "  %-28s %d\n" label rds)
+      (Rounds.breakdown acct)
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:
+         "Distributed protocols (BFS / SSSP / leader election) under fault \
+          injection, with reliable-broadcast recovery")
+    Term.(
+      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ algo_arg
+      $ model_arg $ source_arg $ patience_arg $ raw_arg $ faults_term)
 
 let gen_cmd =
   let kind =
@@ -203,6 +437,6 @@ let main_cmd =
   let doc = "The Laplacian paradigm in the Broadcast Congested Clique" in
   Cmd.group
     (Cmd.info "lbcc" ~version:Lbcc.version ~doc)
-    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; gen_cmd ]
+    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; dist_cmd; gen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

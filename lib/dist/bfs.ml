@@ -1,5 +1,6 @@
 open Lbcc_util
 module Engine = Lbcc_net.Engine
+module Reliable = Lbcc_net.Reliable
 module Graph = Lbcc_graph.Graph
 
 type state = {
@@ -13,10 +14,12 @@ type result = {
   parent : int array;
   rounds : int;
   supersteps : int;
+  converged : bool;
 }
 
-let run ?accountant ~model ~graph ~source () =
-  let n = Graph.n graph in
+(* The vertex program, shared by the lossless runner and the
+   reliable-broadcast runner. *)
+let program ~n ~source =
   if source < 0 || source >= n then invalid_arg "Bfs.run: source out of range";
   let init v =
     if v = source then { sdist = 0; sparent = -1; announced = false }
@@ -35,16 +38,45 @@ let run ?accountant ~model ~graph ~source () =
       | [] -> (st, None, true)
     end
   in
-  let states, stats =
-    Engine.run ?accountant ~label:"bfs" ~model ~graph
-      ~size_bits:(fun d -> Bits.int_bits d)
-      ~init ~step
-      ~max_supersteps:(2 * (n + 1))
-      ()
-  in
+  (init, step)
+
+(* The wave crosses the graph in <= n-1 supersteps and every vertex
+   announces once more before halting, so 2(n+1) leaves slack; a run that
+   exhausts the cap reports [converged = false]. *)
+let max_supersteps n = 2 * (n + 1)
+
+let result_of states ~rounds ~supersteps ~converged =
   {
     dist = Array.map (fun s -> s.sdist) states;
     parent = Array.map (fun s -> s.sparent) states;
-    rounds = stats.Engine.rounds;
-    supersteps = stats.Engine.supersteps;
+    rounds;
+    supersteps;
+    converged;
   }
+
+let run ?accountant ?faults ~model ~graph ~source () =
+  let n = Graph.n graph in
+  let init, step = program ~n ~source in
+  let states, stats =
+    Engine.run ?accountant ?faults ~label:"bfs" ~model ~graph
+      ~size_bits:(fun d -> Bits.int_bits d)
+      ~init ~step
+      ~max_supersteps:(max_supersteps n)
+      ()
+  in
+  result_of states ~rounds:stats.Engine.rounds ~supersteps:stats.Engine.supersteps
+    ~converged:stats.Engine.converged
+
+let run_reliable ?accountant ?faults ?patience ~model ~graph ~source () =
+  let n = Graph.n graph in
+  let init, step = program ~n ~source in
+  let r =
+    Reliable.run ?accountant ?faults ?patience ~label:"bfs" ~model ~graph
+      ~size_bits:(fun d -> Bits.int_bits d)
+      ~init ~step
+      ~max_supersteps:(100 * max_supersteps n)
+      ()
+  in
+  result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
+    ~supersteps:r.Reliable.virtual_supersteps
+    ~converged:r.Reliable.stats.Engine.converged

@@ -12,13 +12,32 @@ type result = {
   parent : int array;  (** BFS-tree parent, [-1] at the root/unreachable *)
   rounds : int;
   supersteps : int;
+      (** for {!run_reliable}: virtual (inner) supersteps, matching the
+          lossless count *)
+  converged : bool;  (** [false] iff truncated by the superstep cap *)
 }
 
 val run :
   ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   source:int ->
   unit ->
   result
-(** @raise Invalid_argument on a unicast model. *)
+(** Raw engine run: injected faults (if any) hit the protocol directly —
+    dropped announcements simply never arrive.
+    @raise Invalid_argument on a unicast model. *)
+
+val run_reliable :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?patience:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result
+(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
+    lossy engine; retransmission cost appears under the
+    ["bfs/retransmit"] accountant label. *)

@@ -1,4 +1,5 @@
 module Engine = Lbcc_net.Engine
+module Reliable = Lbcc_net.Reliable
 module Graph = Lbcc_graph.Graph
 module Model = Lbcc_net.Model
 
@@ -12,21 +13,18 @@ type result = {
   leader : int;
   rounds : int;
   supersteps : int;
+  converged : bool;
 }
 
-let run ?accountant ~model ~graph () =
-  let n = Graph.n graph in
-  if n = 0 then invalid_arg "Leader.run: empty graph";
-  if model.Model.topology = Model.Input_graph && not (Graph.is_connected graph)
-  then invalid_arg "Leader.run: graph must be connected";
+(* In the clique topology one broadcast round suffices: every vertex
+   hears every id and can halt immediately.  On the input graph, flood
+   the smallest id and halt after [n] quiet supersteps (a vertex cannot
+   locally distinguish "stable" from "the wave is still far away"
+   earlier than that). *)
+let program ~n ~topology =
   let init v = { best = v; changed = true; idle = 0 } in
-  (* In the clique topology one broadcast round suffices: every vertex
-     hears every id and can halt immediately.  On the input graph, flood
-     the smallest id and halt after [n] quiet supersteps (a vertex cannot
-     locally distinguish "stable" from "the wave is still far away"
-     earlier than that). *)
   let step =
-    match model.Model.topology with
+    match topology with
     | Model.Clique ->
         fun ~round ~vertex:_ (st : state) inbox ->
           if round = 1 then (st, Some st.best, true)
@@ -46,13 +44,52 @@ let run ?accountant ~model ~graph () =
           if st.changed || st.idle <= 1 then (st, Some st.best, st.idle < n)
           else (st, None, st.idle < n)
   in
+  (init, step)
+
+(* Flooding takes <= n-1 supersteps, then n quiet ones before the last
+   vertex halts: 2(n+2) bounds it with slack. *)
+let max_supersteps n = 2 * (n + 2)
+
+let check_input ~model ~graph =
+  let n = Graph.n graph in
+  if n = 0 then invalid_arg "Leader.run: empty graph";
+  if model.Model.topology = Model.Input_graph && not (Graph.is_connected graph)
+  then invalid_arg "Leader.run: graph must be connected";
+  n
+
+(* Under faults a crashed vertex keeps a stale [best]; agreement is only
+   asserted on clean converged runs. *)
+let result_of ?faults states ~rounds ~supersteps ~converged =
+  let leader = states.(0).best in
+  (match faults with
+  | None when converged ->
+      Array.iter (fun s -> assert (s.best = leader)) states
+  | _ -> ());
+  { leader; rounds; supersteps; converged }
+
+let run ?accountant ?faults ~model ~graph () =
+  let n = check_input ~model ~graph in
+  let init, step = program ~n ~topology:model.Model.topology in
   let states, stats =
-    Engine.run ?accountant ~label:"leader" ~model ~graph
+    Engine.run ?accountant ?faults ~label:"leader" ~model ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
       ~init ~step
-      ~max_supersteps:(2 * (n + 2))
+      ~max_supersteps:(max_supersteps n)
       ()
   in
-  let leader = states.(0).best in
-  Array.iter (fun s -> assert (s.best = leader)) states;
-  { leader; rounds = stats.Engine.rounds; supersteps = stats.Engine.supersteps }
+  result_of ?faults states ~rounds:stats.Engine.rounds
+    ~supersteps:stats.Engine.supersteps ~converged:stats.Engine.converged
+
+let run_reliable ?accountant ?faults ?patience ~model ~graph () =
+  let n = check_input ~model ~graph in
+  let init, step = program ~n ~topology:model.Model.topology in
+  let r =
+    Reliable.run ?accountant ?faults ?patience ~label:"leader" ~model ~graph
+      ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
+      ~init ~step
+      ~max_supersteps:(100 * max_supersteps n)
+      ()
+  in
+  result_of ?faults r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
+    ~supersteps:r.Reliable.virtual_supersteps
+    ~converged:r.Reliable.stats.Engine.converged

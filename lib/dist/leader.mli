@@ -9,14 +9,32 @@ type result = {
   leader : int;
   rounds : int;
   supersteps : int;
+      (** for {!run_reliable}: virtual (inner) supersteps, matching the
+          lossless count *)
+  converged : bool;  (** [false] iff truncated by the superstep cap *)
 }
 
 val run :
   ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   unit ->
   result
-(** All vertices agree on the returned leader (asserted internally).
+(** On a clean converged run all vertices agree on the returned leader
+    (asserted internally); under faults the crashed vertices may retain
+    stale views and the assertion is skipped.
     @raise Invalid_argument on a unicast model or a disconnected graph
     under the [Input_graph] topology. *)
+
+val run_reliable :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?patience:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  unit ->
+  result
+(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
+    lossy engine; retransmission cost appears under the
+    ["leader/retransmit"] accountant label. *)

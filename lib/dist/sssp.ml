@@ -1,4 +1,5 @@
 module Engine = Lbcc_net.Engine
+module Reliable = Lbcc_net.Reliable
 module Graph = Lbcc_graph.Graph
 module Payload = Lbcc_net.Payload
 
@@ -14,9 +15,10 @@ type result = {
   parent : int array;
   rounds : int;
   supersteps : int;
+  converged : bool;
 }
 
-let run ?accountant ~model ~graph ~source () =
+let program ~graph ~source =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Sssp.run: source out of range";
   (* Edge weight lookup per (vertex, neighbor): in Broadcast CONGEST a
@@ -56,16 +58,44 @@ let run ?accountant ~model ~graph ~source () =
       (st, None, st.idle < quiet_limit)
     end
   in
-  let states, stats =
-    Engine.run ?accountant ~label:"sssp" ~model ~graph
-      ~size_bits:(fun d -> Payload.weight_bits d)
-      ~init ~step
-      ~max_supersteps:(4 * (n + 2))
-      ()
-  in
+  (init, step)
+
+(* Distances settle after <= n-1 relaxation waves, then each vertex sits
+   out [n] quiet supersteps: 4(n+2) bounds the sum with slack. *)
+let max_supersteps n = 4 * (n + 2)
+
+let result_of states ~rounds ~supersteps ~converged =
   {
     dist = Array.map (fun s -> s.sdist) states;
     parent = Array.map (fun s -> s.sparent) states;
-    rounds = stats.Engine.rounds;
-    supersteps = stats.Engine.supersteps;
+    rounds;
+    supersteps;
+    converged;
   }
+
+let run ?accountant ?faults ~model ~graph ~source () =
+  let n = Graph.n graph in
+  let init, step = program ~graph ~source in
+  let states, stats =
+    Engine.run ?accountant ?faults ~label:"sssp" ~model ~graph
+      ~size_bits:(fun d -> Payload.weight_bits d)
+      ~init ~step
+      ~max_supersteps:(max_supersteps n)
+      ()
+  in
+  result_of states ~rounds:stats.Engine.rounds ~supersteps:stats.Engine.supersteps
+    ~converged:stats.Engine.converged
+
+let run_reliable ?accountant ?faults ?patience ~model ~graph ~source () =
+  let n = Graph.n graph in
+  let init, step = program ~graph ~source in
+  let r =
+    Reliable.run ?accountant ?faults ?patience ~label:"sssp" ~model ~graph
+      ~size_bits:(fun d -> Payload.weight_bits d)
+      ~init ~step
+      ~max_supersteps:(100 * max_supersteps n)
+      ()
+  in
+  result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
+    ~supersteps:r.Reliable.virtual_supersteps
+    ~converged:r.Reliable.stats.Engine.converged

@@ -12,10 +12,14 @@ type result = {
   parent : int array;  (** shortest-path-tree parent, [-1] at root *)
   rounds : int;
   supersteps : int;
+      (** for {!run_reliable}: virtual (inner) supersteps, matching the
+          lossless count *)
+  converged : bool;  (** [false] iff truncated by the superstep cap *)
 }
 
 val run :
   ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   source:int ->
@@ -23,3 +27,16 @@ val run :
   result
 (** @raise Invalid_argument on a unicast model.  Distances agree with
     {!Lbcc_graph.Paths.dijkstra} (tested). *)
+
+val run_reliable :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?patience:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result
+(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
+    lossy engine; retransmission cost appears under the
+    ["sssp/retransmit"] accountant label. *)

@@ -10,13 +10,47 @@ type stats = {
   rounds : int;
   messages_sent : int;
   total_bits : int;
+  converged : bool;
 }
 
-let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
-    ~graph ~size_bits ~init ~step () =
+exception Timeout of { label : string; supersteps : int }
+
+type on_timeout = [ `Truncate | `Raise ]
+
+(* A fault plan that never fires costs nothing to consult, but skipping it
+   entirely keeps the lossless path identical to the historical engine. *)
+let active_faults = function
+  | Some f when not (Fault.is_lossless f) -> Some f
+  | _ -> None
+
+let apply_crashes faults live ~round =
+  match faults with
+  | None -> ()
+  | Some f ->
+      Array.iteri
+        (fun v alive ->
+          if alive && Fault.crashed f ~vertex:v ~round then live.(v) <- false)
+        live
+
+let deliveries faults ~round ~src ~dst =
+  match faults with
+  | None -> 1
+  | Some f -> Fault.copies f ~round ~src ~dst
+
+let finish ~label ~on_timeout ~live ~supersteps ~rounds ~messages_sent
+    ~total_bits states =
+  let converged = not (Array.exists Fun.id live) in
+  if (not converged) && on_timeout = `Raise then
+    raise (Timeout { label; supersteps });
+  ( states,
+    { supersteps; rounds; messages_sent; total_bits; converged } )
+
+let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000)
+    ?(on_timeout = `Truncate) ?faults ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Broadcast -> ()
   | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
+  let faults = active_faults faults in
   let n = Graph.n graph in
   let neighbors =
     match model.Model.topology with
@@ -34,6 +68,7 @@ let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
   let any_live () = Array.exists Fun.id live in
   while any_live () && !supersteps < max_supersteps do
     incr supersteps;
+    apply_crashes faults live ~round:!supersteps;
     let outgoing = Array.make n None in
     for v = 0 to n - 1 do
       if live.(v) then begin
@@ -45,7 +80,9 @@ let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
         if not continue then live.(v) <- false
       end
     done;
-    (* Deliver and charge: the superstep costs the largest message. *)
+    (* Deliver and charge: the superstep costs the largest message.  The
+       broadcast is charged once per sender — a dropped delivery still
+       occupied the sender's slot on the shared channel. *)
     let max_bits = ref 0 in
     for v = 0 to n - 1 do
       match outgoing.(v) with
@@ -56,7 +93,10 @@ let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
           total_bits := !total_bits + bits;
           max_bits := Stdlib.max !max_bits bits;
           List.iter
-            (fun u -> inboxes.(u) <- (v, msg) :: inboxes.(u))
+            (fun u ->
+              for _ = 1 to deliveries faults ~round:!supersteps ~src:v ~dst:u do
+                inboxes.(u) <- (v, msg) :: inboxes.(u)
+              done)
             neighbors.(v)
     done;
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
@@ -65,13 +105,8 @@ let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000) ~model
     | Some acc -> Rounds.charge acc ~label ~rounds:cost
     | None -> ())
   done;
-  ( states,
-    {
-      supersteps = !supersteps;
-      rounds = !rounds;
-      messages_sent = !messages_sent;
-      total_bits = !total_bits;
-    } )
+  finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
+    ~messages_sent:!messages_sent ~total_bits:!total_bits states
 
 type ('state, 'msg) unicast_step =
   round:int ->
@@ -81,11 +116,12 @@ type ('state, 'msg) unicast_step =
   'state * (int * 'msg) list * bool
 
 let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000_000)
-    ~model ~graph ~size_bits ~init ~step () =
+    ?(on_timeout = `Truncate) ?faults ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Unicast -> ()
   | Model.Broadcast ->
       invalid_arg "Engine.run_unicast: use run for broadcast disciplines");
+  let faults = active_faults faults in
   let n = Graph.n graph in
   let allowed =
     match model.Model.topology with
@@ -111,6 +147,7 @@ let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000
   let any_live () = Array.exists Fun.id live in
   while any_live () && !supersteps < max_supersteps do
     incr supersteps;
+    apply_crashes faults live ~round:!supersteps;
     let outgoing = Array.make n [] in
     for v = 0 to n - 1 do
       if live.(v) then begin
@@ -139,7 +176,9 @@ let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000
           incr messages_sent;
           total_bits := !total_bits + bits;
           max_bits := Stdlib.max !max_bits bits;
-          inboxes.(u) <- (v, msg) :: inboxes.(u))
+          for _ = 1 to deliveries faults ~round:!supersteps ~src:v ~dst:u do
+            inboxes.(u) <- (v, msg) :: inboxes.(u)
+          done)
         outgoing.(v)
     done;
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
@@ -148,10 +187,5 @@ let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000
     | Some acc -> Rounds.charge acc ~label ~rounds:cost
     | None -> ())
   done;
-  ( states,
-    {
-      supersteps = !supersteps;
-      rounds = !rounds;
-      messages_sent = !messages_sent;
-      total_bits = !total_bits;
-    } )
+  finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
+    ~messages_sent:!messages_sent ~total_bits:!total_bits states

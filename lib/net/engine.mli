@@ -8,13 +8,21 @@
     all neighbors) and charges the accountant [ceil(max_bits/B)] rounds per
     superstep.
 
+    Delivery is lossless and crash-free unless a {!Fault.t} is supplied: then
+    each (sender, receiver) delivery may be dropped or duplicated and
+    vertices may crash-stop mid-run, all reproducibly from the fault seed.
+    Termination is reported honestly: [stats.converged] says whether every
+    vertex halted (or crashed) on its own, and [?on_timeout:`Raise] turns the
+    superstep cap into a {!Timeout} instead of a silent truncation.
+
     The heavier algorithms of this repository (spanner, sparsifier) use
     bespoke superstep drivers for clarity; this engine backs the simple
     vertex programs (BFS baseline, leader election, aggregation) and the unit
     tests of the charging rules. *)
 
 type 'msg inbox = (int * 'msg) list
-(** [(sender, message)] pairs, ascending by sender. *)
+(** [(sender, message)] pairs, ascending by sender.  Under a fault model a
+    duplicated delivery appears as two adjacent pairs from the same sender. *)
 
 type ('state, 'msg) step =
   round:int -> vertex:int -> 'state -> 'msg inbox -> 'state * 'msg option * bool
@@ -28,12 +36,24 @@ type stats = {
   rounds : int;
   messages_sent : int;
   total_bits : int;
+  converged : bool;
+      (** [true] iff every vertex halted or crashed before the superstep
+          cap; [false] means the run was truncated with vertices still
+          live — the states are partial. *)
 }
+
+exception Timeout of { label : string; supersteps : int }
+(** Raised instead of returning truncated state when [?on_timeout:`Raise]
+    is selected and [max_supersteps] is exhausted. *)
+
+type on_timeout = [ `Truncate | `Raise ]
 
 val run :
   ?accountant:Rounds.t ->
   ?label:string ->
   ?max_supersteps:int ->
+  ?on_timeout:on_timeout ->
+  ?faults:Fault.t ->
   model:Model.t ->
   graph:Lbcc_graph.Graph.t ->
   size_bits:('msg -> int) ->
@@ -43,8 +63,10 @@ val run :
   'state array * stats
 (** Runs the protocol over the communication topology selected by [model]
     ([Input_graph]: neighbors of [graph]; [Clique]: everyone).  Only
-    broadcast disciplines are supported.
-    @raise Invalid_argument on a unicast model. *)
+    broadcast disciplines are supported.  A crashed vertex stops stepping
+    and sending from its crash superstep on; its last state is kept.
+    @raise Invalid_argument on a unicast model.
+    @raise Timeout when the cap is hit under [?on_timeout:`Raise]. *)
 
 type ('state, 'msg) unicast_step =
   round:int ->
@@ -60,6 +82,8 @@ val run_unicast :
   ?accountant:Rounds.t ->
   ?label:string ->
   ?max_supersteps:int ->
+  ?on_timeout:on_timeout ->
+  ?faults:Fault.t ->
   model:Model.t ->
   graph:Lbcc_graph.Graph.t ->
   size_bits:('msg -> int) ->
@@ -70,4 +94,5 @@ val run_unicast :
 (** Per-edge messages; a superstep costs [ceil(max_bits/B)] rounds (every
     edge carries its message in parallel).
     @raise Invalid_argument on a broadcast model, a message addressed to a
-    non-neighbor, or two messages to the same neighbor in one superstep. *)
+    non-neighbor, or two messages to the same neighbor in one superstep.
+    @raise Timeout when the cap is hit under [?on_timeout:`Raise]. *)

@@ -1,0 +1,116 @@
+open Lbcc_util
+
+type spec = {
+  drop_prob : float;
+  duplicate_prob : float;
+  crashes : (int * int) list;
+  adversarial_drops : int;
+}
+
+let spec ?(drop_prob = 0.0) ?(duplicate_prob = 0.0) ?(crashes = [])
+    ?(adversarial_drops = 0) () =
+  { drop_prob; duplicate_prob; crashes; adversarial_drops }
+
+type t = {
+  sd : int;
+  drop_prob : float;
+  duplicate_prob : float;
+  crash_at : (int, int) Hashtbl.t; (* vertex -> earliest crash superstep *)
+  drop_salt : int;
+  dup_salt : int;
+  mutable adversarial_left : int;
+  adversarial_budget : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let check_prob name p =
+  if not (p >= 0.0 && p < 1.0) then
+    invalid_arg (Printf.sprintf "Fault.create: %s must be in [0, 1)" name)
+
+let create ?(seed = 1) (s : spec) =
+  check_prob "drop_prob" s.drop_prob;
+  check_prob "duplicate_prob" s.duplicate_prob;
+  if s.adversarial_drops < 0 then
+    invalid_arg "Fault.create: adversarial_drops must be >= 0";
+  let crash_at = Hashtbl.create 8 in
+  List.iter
+    (fun (v, r) ->
+      if r < 1 then invalid_arg "Fault.create: crash superstep must be >= 1";
+      match Hashtbl.find_opt crash_at v with
+      | Some r' when r' <= r -> ()
+      | _ -> Hashtbl.replace crash_at v r)
+    s.crashes;
+  (* Independent per-purpose key material from the one seed: each salt is a
+     whole split stream collapsed to its first output. *)
+  let g = Prng.create seed in
+  let salt () = Int64.to_int (Prng.next_int64 (Prng.split g)) land max_int in
+  let drop_salt = salt () in
+  let dup_salt = salt () in
+  {
+    sd = seed;
+    drop_prob = s.drop_prob;
+    duplicate_prob = s.duplicate_prob;
+    crash_at;
+    drop_salt;
+    dup_salt;
+    adversarial_left = s.adversarial_drops;
+    adversarial_budget = s.adversarial_drops;
+    dropped = 0;
+    duplicated = 0;
+  }
+
+let lossless () = create ~seed:0 (spec ())
+
+let is_lossless t =
+  t.drop_prob = 0.0 && t.duplicate_prob = 0.0
+  && Hashtbl.length t.crash_at = 0
+  && t.adversarial_budget = 0
+
+let crashed t ~vertex ~round =
+  match Hashtbl.find_opt t.crash_at vertex with
+  | Some r -> round >= r
+  | None -> false
+
+(* A decision is a pure function of (salt, round, src, dst): hash the
+   coordinates into a fresh SplitMix stream and take its first float.  Query
+   order therefore cannot perturb the schedule. *)
+let coin salt ~round ~src ~dst ~p =
+  p > 0.0
+  &&
+  let key =
+    salt
+    lxor (round * 0x9E3779B1)
+    lxor (src * 0x85EBCA77)
+    lxor (dst * 0xC2B2AE3D)
+  in
+  Prng.float (Prng.create key) < p
+
+let copies t ~round ~src ~dst =
+  if coin t.drop_salt ~round ~src ~dst ~p:t.drop_prob then begin
+    t.dropped <- t.dropped + 1;
+    0
+  end
+  else if t.adversarial_left > 0 then begin
+    t.adversarial_left <- t.adversarial_left - 1;
+    t.dropped <- t.dropped + 1;
+    0
+  end
+  else if coin t.dup_salt ~round ~src ~dst ~p:t.duplicate_prob then begin
+    t.duplicated <- t.duplicated + 1;
+    2
+  end
+  else 1
+
+let drops t = t.dropped
+let duplicates t = t.duplicated
+let adversarial_spent t = t.adversarial_budget - t.adversarial_left
+let seed t = t.sd
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>faults seed=%d drop=%.3f dup=%.3f crashes=%d adversary=%d/%d \
+     (dropped=%d duplicated=%d)@]"
+    t.sd t.drop_prob t.duplicate_prob
+    (Hashtbl.length t.crash_at)
+    (adversarial_spent t) t.adversarial_budget t.dropped t.duplicated

@@ -1,0 +1,75 @@
+(** Deterministic fault injection for the simulated network.
+
+    The engine is lossless and crash-free by default; a [t] threaded through
+    {!Engine.run} / {!Engine.run_unicast} as [?faults] turns on a repeatable
+    failure model:
+
+    - {b message drops}: each (sender, receiver) delivery is lost
+      independently with probability [drop_prob];
+    - {b duplication}: a delivered message is handed to the receiver twice
+      with probability [duplicate_prob] (the inbox sees two copies);
+    - {b crash-stop}: [crashes = [(v, r); ...]] removes vertex [v] at the
+      start of superstep [r] — it neither steps nor sends from then on;
+    - {b adversarial drops}: on top of the random losses, the first
+      [adversarial_drops] deliveries that survived the coin flips are
+      destroyed, in engine delivery order (a worst-case budget in the sense
+      of the restricted-clique models).
+
+    {b Determinism contract.} Random decisions are a pure function of
+    [(seed, superstep, sender, receiver)] — independent of query order — so
+    the same seed reproduces the same fault schedule bit-for-bit, and two
+    protocols with different communication patterns still see the same fate
+    for the same (round, edge) slot.  The adversarial budget is the one
+    stateful component; it consumes in the engine's deterministic delivery
+    order.  Per-purpose key material is derived from the single seed with
+    {!Lbcc_util.Prng.split}. *)
+
+type spec = {
+  drop_prob : float;  (** per-delivery loss probability, in [\[0, 1)] *)
+  duplicate_prob : float;  (** per-delivery duplication probability *)
+  crashes : (int * int) list;  (** [(vertex, superstep)] crash-stop points *)
+  adversarial_drops : int;  (** extra targeted-drop budget *)
+}
+
+val spec :
+  ?drop_prob:float ->
+  ?duplicate_prob:float ->
+  ?crashes:(int * int) list ->
+  ?adversarial_drops:int ->
+  unit ->
+  spec
+(** All fields default to the lossless value (0 / []). *)
+
+type t
+
+val create : ?seed:int -> spec -> t
+(** [create ~seed spec] compiles the spec into an injectable fault plan.
+    [seed] defaults to 1.
+    @raise Invalid_argument if a probability is outside [\[0, 1)] or the
+    budget is negative. *)
+
+val lossless : unit -> t
+(** A fault plan that never interferes; [Engine] treats it like [None]. *)
+
+val is_lossless : t -> bool
+
+val crashed : t -> vertex:int -> round:int -> bool
+(** Has [vertex]'s crash point passed at superstep [round]? *)
+
+val copies : t -> round:int -> src:int -> dst:int -> int
+(** How many copies of the message broadcast by [src] in superstep [round]
+    reach [dst]: 0 (dropped), 1, or 2 (duplicated).  Consumes the
+    adversarial budget when the random layer lets a message through. *)
+
+val drops : t -> int
+(** Messages destroyed so far (random + adversarial). *)
+
+val duplicates : t -> int
+(** Deliveries duplicated so far. *)
+
+val adversarial_spent : t -> int
+(** How much of the adversarial budget has been used. *)
+
+val seed : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -187,6 +187,47 @@ let test_engine_unicast_rejects_nonneighbor () =
            ~step:(fun ~round:_ ~vertex:_ s _ -> (s, [ (3, ()) ], false))
            ()))
 
+let test_engine_converged_flag () =
+  let prng = Prng.create 29 in
+  let g = Gen.ring prng ~n:8 in
+  let _, stats = bfs_program g Model.broadcast_congest in
+  Alcotest.(check bool) "clean run converges" true stats.Engine.converged;
+  let _, stats =
+    Engine.run ~model:Model.broadcast_congest ~graph:g
+      ~size_bits:(fun () -> 1)
+      ~init:(fun _ -> ())
+      ~step:(fun ~round:_ ~vertex:_ s _ -> (s, Some (), true))
+      ~max_supersteps:3 ()
+  in
+  Alcotest.(check bool) "truncated run reported" false stats.Engine.converged
+
+let test_engine_unicast_crash_is_honest () =
+  (* Crash the token holder mid-ring: the token vanishes and the other
+     vertices wait until the cap — the unicast engine must say so. *)
+  let prng = Prng.create 30 in
+  let n = 6 in
+  let g = Gen.ring prng ~n in
+  let next v = (v + 1) mod n in
+  let init v = if v = 0 then Some 0 else None in
+  let step ~round:_ ~vertex st (inbox : int Engine.inbox) =
+    match (st, inbox) with
+    | Some 0, [] when vertex = 0 -> (Some 0, [ (next 0, 1) ], true)
+    | _, (_, hops) :: _ ->
+        if vertex = 0 then (Some hops, [], false)
+        else (Some hops, [ (next vertex, hops + 1) ], false)
+    | st, [] -> (st, [], true)
+  in
+  let faults =
+    Lbcc_net.Fault.create ~seed:1 (Lbcc_net.Fault.spec ~crashes:[ (3, 3) ] ())
+  in
+  let states, stats =
+    Engine.run_unicast ~faults ~model:Model.congest ~graph:g
+      ~size_bits:(fun h -> Bits.int_bits h)
+      ~init ~step ~max_supersteps:(4 * n) ()
+  in
+  Alcotest.(check bool) "truncated" false stats.Engine.converged;
+  Alcotest.(check (option int)) "token never returned" (Some 0) states.(0)
+
 let test_engine_unicast_clique_allows_all () =
   let prng = Prng.create 28 in
   let g = Gen.ring prng ~n:6 in
@@ -227,6 +268,9 @@ let suites =
         Alcotest.test_case "rejects unicast" `Quick test_engine_rejects_unicast;
         Alcotest.test_case "charges accountant" `Quick test_engine_charges_accountant;
         Alcotest.test_case "message size matters" `Quick test_engine_big_messages_cost_more;
+        Alcotest.test_case "converged flag" `Quick test_engine_converged_flag;
+        Alcotest.test_case "unicast crash is honest" `Quick
+          test_engine_unicast_crash_is_honest;
         Alcotest.test_case "unicast ring token" `Quick test_engine_unicast_ring_token;
         Alcotest.test_case "unicast rejects non-neighbor" `Quick
           test_engine_unicast_rejects_nonneighbor;
