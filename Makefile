@@ -1,6 +1,6 @@
 CLI := ./_build/default/bin/lbcc_cli.exe
 
-.PHONY: all build test smoke ci clean
+.PHONY: all build test smoke bench-smoke ci clean
 
 all: build
 
@@ -24,6 +24,16 @@ smoke: build
 	  | grep -q 'converged='
 	$(CLI) sparsify --vertices 48 --max-retries 2 | grep -q 'verdict=ok'
 	@echo "smoke: OK"
+
+# Benchmark smoke: two fast experiments emitting machine-readable reports;
+# each BENCH_<EXP>.json must parse and validate against the lbcc-bench/1
+# schema (the harness itself exits nonzero if any claim leaves its bound).
+bench-smoke: build
+	rm -rf _bench_reports && mkdir -p _bench_reports
+	dune exec bench/main.exe -- E1 E5 --json --out _bench_reports
+	$(CLI) report --validate _bench_reports/BENCH_E1.json \
+	  _bench_reports/BENCH_E5.json
+	@echo "bench-smoke: OK"
 
 ci: build test smoke
 

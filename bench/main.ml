@@ -1,13 +1,14 @@
 (* Experiment harness: regenerates every quantitative claim tracked in
    EXPERIMENTS.md (the paper has no measured tables or figures — it is a
-   theory paper — so the "tables" are the theorem-level claims E1..E13 of
+   theory paper — so the "tables" are the theorem-level claims E1..E16 of
    DESIGN.md).  Run everything:
 
      dune exec bench/main.exe
 
-   or a subset:
+   or a subset, optionally emitting machine-readable reports (one
+   BENCH_<EXP>.json per experiment, schema documented in EXPERIMENTS.md):
 
-     dune exec bench/main.exe -- E1 E5 E11 micro
+     dune exec bench/main.exe -- E1 E5 E11 --json --out _reports
 *)
 
 open Lbcc_util
@@ -33,10 +34,25 @@ module Mcmf = Lbcc_flow.Mcmf
 module Mcmf_lp = Lbcc_flow.Mcmf_lp
 module Model = Lbcc_net.Model
 module Rounds = Lbcc_net.Rounds
+module Report = Lbcc_obs.Report
+module Json = Lbcc_obs.Json
 
 let section id title = Printf.printf "\n=== %s: %s ===\n" id title
 
 let note fmt = Printf.printf fmt
+
+let cl ?direction name measured bound =
+  Report.claim ?direction ~name ~measured ~bound ()
+
+let report ?(phases = []) ?(extra = []) ~experiment ~title claims =
+  { Report.experiment; title; claims; phases; extra }
+
+let phases_of acc =
+  List.map2
+    (fun (label, rounds) (_, bits) -> { Report.label; rounds; bits })
+    (Rounds.breakdown acc) (Rounds.bits_breakdown acc)
+
+let log2f x = log x /. log 2.0
 
 (* ------------------------------------------------------------------ *)
 (* E1: spanner stretch / size / out-degree (Lemma 3.1)                 *)
@@ -55,6 +71,7 @@ let e1 () =
       ("complete", fun seed -> Gen.complete (Prng.create seed) ~n:64 ~w_max:8);
     ]
   in
+  let stretch_ratio = ref 0.0 and size_ratio = ref 0.0 and deg_ratio = ref 0.0 in
   List.iter
     (fun (name, make) ->
       List.iter
@@ -71,6 +88,12 @@ let e1 () =
           in
           let deg_bound = float_of_int k *. (nf ** (1.0 /. float_of_int k)) in
           let maxdeg = Array.fold_left Stdlib.max 0 (Spanner.out_degrees g r) in
+          stretch_ratio :=
+            Float.max !stretch_ratio (stretch /. float_of_int ((2 * k) - 1));
+          size_ratio :=
+            Float.max !size_ratio
+              (float_of_int (List.length r.Spanner.fplus) /. size_bound);
+          deg_ratio := Float.max !deg_ratio (float_of_int maxdeg /. deg_bound);
           Printf.printf "%-12s %4d %2d | %6d %6d %10.0f | %7.2f %5d | %7d %6.1f\n"
             name n k (Graph.m g)
             (List.length r.Spanner.fplus)
@@ -79,7 +102,13 @@ let e1 () =
             maxdeg deg_bound)
         [ 2; 3; 4 ])
     families;
-  note "claim: stretch <= 2k-1 always; |F+| = O(k n^{1+1/k}); out-degree O(k n^{1/k}).\n"
+  note "claim: stretch <= 2k-1 always; |F+| = O(k n^{1+1/k}); out-degree O(k n^{1/k}).\n";
+  report ~experiment:"E1" ~title:"spanner stretch & size vs Lemma 3.1 bounds"
+    [
+      cl "max stretch / (2k-1)" !stretch_ratio 1.0;
+      cl "max |F+| / (k n^{1+1/k})" !size_ratio 1.0;
+      cl "max out-degree / (k n^{1/k})" !deg_ratio 4.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E2: spanner round complexity (Lemma 3.2)                            *)
@@ -89,6 +118,7 @@ let e2 () =
   Printf.printf "%5s %6s %2s | %7s %12s %7s\n" "n" "m" "k" "rounds" "kn^(1/k)logn"
     "ratio";
   let k = 3 in
+  let max_ratio = ref 0.0 in
   let data =
     List.map
       (fun n ->
@@ -97,6 +127,7 @@ let e2 () =
         let r = Spanner.run ~prng:(Prng.create 13) ~graph:g ~p ~k () in
         let nf = float_of_int n in
         let formula = float_of_int k *. (nf ** (1.0 /. float_of_int k)) *. log nf in
+        max_ratio := Float.max !max_ratio (float_of_int r.Spanner.rounds /. formula);
         Printf.printf "%5d %6d %2d | %7d %12.1f %7.2f\n" n (Graph.m g) k
           r.Spanner.rounds formula
           (float_of_int r.Spanner.rounds /. formula);
@@ -109,7 +140,12 @@ let e2 () =
       (Array.of_list (List.map snd data))
   in
   note "measured rounds ~ n^%.2f (claimed n^{1/k} * polylog = n^%.2f * polylog)\n" expo
-    (1.0 /. float_of_int k)
+    (1.0 /. float_of_int k);
+  report ~experiment:"E2" ~title:"spanner rounds vs Lemma 3.2 formula"
+    [
+      cl "max rounds / (k n^{1/k} ln n)" !max_ratio 4.0;
+      cl "rounds scaling exponent (n^{1/3} + polylog at small n)" expo 0.85;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E3: sparsifier quality / size / rounds (Theorem 1.2)                *)
@@ -119,10 +155,15 @@ let e3 () =
   Printf.printf "-- quality vs bundle size t (ER n=48 p=0.6, k=3) --\n";
   Printf.printf "%3s | %6s %9s %8s\n" "t" "m_H" "eps_cert" "rounds";
   let g48 = Gen.erdos_renyi_connected (Prng.create 3) ~n:48 ~p:0.6 ~w_max:4 in
+  let eps_t8 = ref infinity and rounds_t8 = ref 0 in
   List.iter
     (fun t ->
       let r = Sparsify.run ~prng:(Prng.create 17) ~graph:g48 ~epsilon:0.5 ~t ~k:3 () in
       let c = Certify.exact g48 r.Sparsify.sparsifier in
+      if t = 8 then begin
+        eps_t8 := c.Certify.epsilon_achieved;
+        rounds_t8 := r.Sparsify.rounds
+      end;
       Printf.printf "%3d | %6d %9.3f %8d\n" t
         (Graph.m r.Sparsify.sparsifier)
         c.Certify.epsilon_achieved r.Sparsify.rounds)
@@ -150,7 +191,12 @@ let e3 () =
       (Array.of_list (List.map snd data))
   in
   note "rounds ~ n^%.2f: the paper claims polylog(n) (exponent -> 0); the residual\n" expo;
-  note "exponent is the spanner's n^{1/k} term at these small n.\n"
+  note "exponent is the spanner's n^{1/k} term at these small n.\n";
+  report ~experiment:"E3" ~title:"spectral sparsifier quality and rounds (Theorem 1.2)"
+    [
+      cl "eps_cert at t=8 (epsilon target 0.5)" !eps_t8 0.5;
+      cl "rounds at t=8 / log2^5(48)" (float_of_int !rounds_t8 /. (log2f 48.0 ** 5.0)) 2.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E4: ad-hoc vs a-priori sampling (Lemma 3.3)                         *)
@@ -179,7 +225,16 @@ let e4 () =
   Printf.printf "sparsifier size over %d seeds (input m=%d):\n" runs (Graph.m g);
   Printf.printf "  ad-hoc   : %s\n" (Format.asprintf "%a" Stats.pp_summary sa);
   Printf.printf "  a-priori : %s\n" (Format.asprintf "%a" Stats.pp_summary sb);
-  note "claim (Lemma 3.3): identical output distributions; means within noise.\n"
+  note "claim (Lemma 3.3): identical output distributions; means within noise.\n";
+  let se =
+    sqrt (((sa.Stats.stddev ** 2.0) +. (sb.Stats.stddev ** 2.0)) /. float_of_int runs)
+  in
+  report ~experiment:"E4" ~title:"ad-hoc vs a-priori sampling distributions (Lemma 3.3)"
+    [
+      cl "|mean ad-hoc - mean a-priori| (vs 3 combined stderr)"
+        (Float.abs (sa.Stats.mean -. sb.Stats.mean))
+        (3.0 *. se);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E5: Chebyshev iteration count (Theorem 2.3)                         *)
@@ -189,6 +244,7 @@ let e5 () =
   Printf.printf "%7s %8s | %9s %7s %7s\n" "kappa" "eps" "measured" "bound" "ratio";
   let n = 64 in
   let prng = Prng.create 5 in
+  let max_ratio = ref 0.0 in
   List.iter
     (fun kappa ->
       let d =
@@ -206,12 +262,16 @@ let e5 () =
               ~rtol:eps ~b ()
           in
           let bound = Chebyshev.iterations_bound ~kappa ~eps in
+          let ratio = float_of_int r.Chebyshev.iterations /. float_of_int bound in
+          max_ratio := Float.max !max_ratio ratio;
           Printf.printf "%7.0f %8.0e | %9d %7d %7.2f\n" kappa eps
-            r.Chebyshev.iterations bound
-            (float_of_int r.Chebyshev.iterations /. float_of_int bound))
+            r.Chebyshev.iterations bound ratio)
         [ 1e-2; 1e-6; 1e-10 ])
     [ 2.0; 10.0; 100.0; 1000.0 ];
-  note "claim: measured <= bound (ratio <= 1) with the sqrt(kappa) shape.\n"
+  note "claim: measured <= bound (ratio <= 1) with the sqrt(kappa) shape.\n";
+  report ~experiment:"E5"
+    ~title:"preconditioned Chebyshev iterations vs sqrt(kappa) log(1/eps)"
+    [ cl "max iterations / theoretical bound" !max_ratio 1.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* E6: Laplacian solver (Theorem 1.3)                                  *)
@@ -220,6 +280,7 @@ let e6 () =
   section "E6" "BCC Laplacian solver rounds and accuracy (Theorem 1.3)";
   Printf.printf "%4s | %9s | %8s %6s %9s | %9s\n" "n" "preproc" "eps" "iters"
     "solve rds" "residual";
+  let max_residual_ratio = ref 0.0 and max_preproc_ratio = ref 0.0 in
   List.iter
     (fun n ->
       (* density shrinks with n to keep the sweep fast; n = 512 exercises
@@ -229,15 +290,25 @@ let e6 () =
       let s = Solver.preprocess ~prng:(Prng.create 23) ~graph:g ~t:8 ~k:3 () in
       let prng = Prng.create 29 in
       let b = Vec.mean_center (Vec.init n (fun _ -> Prng.gaussian prng)) in
+      max_preproc_ratio :=
+        Float.max !max_preproc_ratio
+          (float_of_int (Solver.preprocessing_rounds s)
+          /. (log2f (float_of_int n) ** 5.0));
       List.iter
         (fun eps ->
           let r = Solver.solve s ~b ~eps in
+          max_residual_ratio := Float.max !max_residual_ratio (r.Solver.residual /. eps);
           Printf.printf "%4d | %9d | %8.0e %6d %9d | %9.2e\n" n
             (Solver.preprocessing_rounds s)
             eps r.Solver.iterations r.Solver.rounds r.Solver.residual)
         [ 1e-2; 1e-8 ])
     [ 32; 64; 128; 256; 512 ];
-  note "claim: preprocessing polylog(n) rounds; each solve O(log(1/eps) log(nU/eps)).\n"
+  note "claim: preprocessing polylog(n) rounds; each solve O(log(1/eps) log(nU/eps)).\n";
+  report ~experiment:"E6" ~title:"BCC Laplacian solver rounds and accuracy (Theorem 1.3)"
+    [
+      cl "max residual / eps" !max_residual_ratio 1.0;
+      cl "max preprocessing rounds / log2^5(n)" !max_preproc_ratio 2.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E7: leverage scores via seeded JL (Lemma 4.5)                       *)
@@ -255,6 +326,7 @@ let e7 () =
   Printf.printf "constraint matrix: %d x %d; sum sigma = %.3f (rank %d)\n" m
     inst.Mcmf_lp.n_lp (Vec.sum exact) inst.Mcmf_lp.n_lp;
   Printf.printf "%5s | %6s %12s\n" "eta" "probes" "max rel err";
+  let max_err_ratio = ref 0.0 in
   List.iter
     (fun eta ->
       let k_jl = Lbcc_lp.Jl.rows_for ~m ~eta:(eta /. 4.0) in
@@ -264,10 +336,13 @@ let e7 () =
         (fun i s ->
           if s > 1e-9 then err := Float.max !err (Float.abs (approx.(i) -. s) /. s))
         exact;
+      max_err_ratio := Float.max !max_err_ratio (!err /. eta);
       Printf.printf "%5.2f | %6d %12.4f\n" eta (Stdlib.min k_jl m) !err)
     [ 2.0; 1.0; 0.5; 0.25 ];
   note "claim: (1±eta) multiplicative accuracy from O(log(m)/eta^2) seeded probes\n";
-  note "(probe count capped at m, where basis probes are exact).\n"
+  note "(probe count capped at m, where basis probes are exact).\n";
+  report ~experiment:"E7" ~title:"approximate leverage scores (Lemma 4.5)"
+    [ cl "max relative error / eta" !max_err_ratio 1.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: Lewis weight computation (Lemma 4.6)                            *)
@@ -283,11 +358,17 @@ let e8 () =
   let leverage d = Leverage.exact (Leverage.of_row_scaled a d) in
   Printf.printf "matrix %d x %d\n" m n;
   Printf.printf "%6s %8s | %6s %10s %9s\n" "p" "eta" "iters" "residual" "sum w";
+  let max_res_ratio = ref 0.0 and max_sum_gap = ref 0.0 in
   List.iter
     (fun p ->
       List.iter
         (fun eta ->
           let w, iters = Lewis.fixed_point ~leverage ~p ~w0:(Vec.ones m) ~eta () in
+          max_res_ratio :=
+            Float.max !max_res_ratio (Lewis.residual ~leverage ~p w /. eta);
+          if eta <= 1e-6 then
+            max_sum_gap :=
+              Float.max !max_sum_gap (Float.abs (Vec.sum w -. float_of_int n));
           Printf.printf "%6.3f %8.0e | %6d %10.2e %9.3f\n" p eta iters
             (Lewis.residual ~leverage ~p w)
             (Vec.sum w))
@@ -301,7 +382,15 @@ let e8 () =
   note "ComputeInitialWeights homotopy: %d steps (paper: O(sqrt n * polylog), sqrt n = %.1f)\n"
     steps
     (sqrt (float_of_int n));
-  note "claim: geometric convergence; sum of Lewis weights = rank for every p.\n"
+  note "claim: geometric convergence; sum of Lewis weights = rank for every p.\n";
+  report ~experiment:"E8" ~title:"Lewis weight fixed point (Lemma 4.6)"
+    [
+      cl "max fixed-point residual / eta" !max_res_ratio 1.0;
+      cl "max |sum w - rank| at eta=1e-6" !max_sum_gap 0.01;
+      cl "homotopy steps / (sqrt(n) log2 m)"
+        (float_of_int steps /. (sqrt (float_of_int n) *. log2f (float_of_int m)))
+        2.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: mixed-norm ball projection (Lemma 4.10)                         *)
@@ -310,6 +399,8 @@ let e9 () =
   section "E9" "projection on the mixed norm ball (Lemma 4.10)";
   Printf.printf "%6s | %10s %10s %6s | %6s %7s\n" "m" "binary" "brute" "agree"
     "evals" "rounds";
+  let max_gap = ref 0.0 in
+  let evals = Hashtbl.create 4 in
   List.iter
     (fun m ->
       let prng = Prng.create (m + 9) in
@@ -318,15 +409,25 @@ let e9 () =
       let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n:64) in
       let fast = Mixed_ball.maximize ~accountant:acc ~a ~l () in
       let brute = Mixed_ball.brute_force ~a ~l () in
-      let agree =
+      let gap =
         Float.abs (fast.Mixed_ball.value -. brute.Mixed_ball.value)
-        <= 1e-6 *. Float.max 1.0 brute.Mixed_ball.value
+        /. Float.max 1.0 brute.Mixed_ball.value
       in
+      max_gap := Float.max !max_gap gap;
+      Hashtbl.replace evals m fast.Mixed_ball.evaluations;
       Printf.printf "%6d | %10.4f %10.4f %6b | %6d %7d\n" m fast.Mixed_ball.value
-        brute.Mixed_ball.value agree fast.Mixed_ball.evaluations
+        brute.Mixed_ball.value (gap <= 1e-6) fast.Mixed_ball.evaluations
         fast.Mixed_ball.rounds)
     [ 10; 100; 1000; 10000 ];
-  note "claim: the O(log)-query search equals the full scan; rounds polylog in m.\n"
+  note "claim: the O(log)-query search equals the full scan; rounds polylog in m.\n";
+  let growth =
+    float_of_int (Hashtbl.find evals 10000) /. float_of_int (Hashtbl.find evals 10)
+  in
+  report ~experiment:"E9" ~title:"projection on the mixed norm ball (Lemma 4.10)"
+    [
+      cl "max relative gap binary vs brute force" !max_gap 1e-6;
+      cl "evals growth m=10 -> m=10^4 / log growth" (growth /. 4.0) 2.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E10: LP solver iterations ~ sqrt(rank) (Theorem 1.4)                *)
@@ -354,14 +455,16 @@ let e10 () =
   section "E10" "IPM iterations: Lewis-weighted sqrt(n) vs unweighted sqrt(m)";
   Printf.printf "%4s %4s %4s | %11s %10s | %11s\n" "|V|" "n" "m" "lewis iters"
     "unweighted" "ratio uw/lw";
+  let min_ratio = ref infinity in
   let data =
     List.map
       (fun nv ->
         let inst, tl = flow_traces ~weighting:Ipm.Lewis nv (100 + nv) in
         let _, tu = flow_traces ~weighting:Ipm.Unweighted nv (100 + nv) in
+        let ratio = float_of_int tu.Ipm.iterations /. float_of_int tl.Ipm.iterations in
+        min_ratio := Float.min !min_ratio ratio;
         Printf.printf "%4d %4d %4d | %11d %10d | %11.2f\n" nv inst.Mcmf_lp.n_lp
-          inst.Mcmf_lp.m_lp tl.Ipm.iterations tu.Ipm.iterations
-          (float_of_int tu.Ipm.iterations /. float_of_int tl.Ipm.iterations);
+          inst.Mcmf_lp.m_lp tl.Ipm.iterations tu.Ipm.iterations ratio;
         (float_of_int inst.Mcmf_lp.n_lp, float_of_int tl.Ipm.iterations))
       [ 6; 8; 12; 16 ]
   in
@@ -371,7 +474,13 @@ let e10 () =
       (Array.of_list (List.map snd data))
   in
   note "lewis iterations ~ n^%.2f (claim: n^0.5 * log factors);\n" expo;
-  note "unweighted pays the ||w||_1 = m vs 2n gap in the step size.\n"
+  note "unweighted pays the ||w||_1 = m vs 2n gap in the step size.\n";
+  report ~experiment:"E10"
+    ~title:"IPM iterations: Lewis-weighted sqrt(n) vs unweighted sqrt(m)"
+    [
+      cl "lewis iterations scaling exponent (sqrt + polylog at small n)" expo 0.9;
+      cl ~direction:Report.Ge "min unweighted/lewis iteration ratio" !min_ratio 1.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E11: exact min-cost max-flow (Theorem 1.1)                          *)
@@ -410,7 +519,44 @@ let e11 () =
       (Array.of_list (List.map snd !data))
   in
   note "iterations ~ |V|^%.2f (claim sqrt: 0.5 + log factors); rounds follow\n" expo;
-  note "iterations x polylog (absolute counts are constants-dominated, EXPERIMENTS.md).\n"
+  note "iterations x polylog (absolute counts are constants-dominated, EXPERIMENTS.md).\n";
+  (* Instrumented pipeline: one shared accountant through sparsifier,
+     Laplacian solver and min-cost flow, so the report carries the
+     hierarchical per-phase round/bit breakdown of all three theorems. *)
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n:32) in
+  let g = Gen.erdos_renyi_connected (Prng.create 11) ~n:32 ~p:0.3 ~w_max:6 in
+  let _ =
+    Sparsify.run ~accountant:acc ~prng:(Prng.create 1) ~graph:g ~epsilon:0.5 ~t:4
+      ~k:3 ()
+  in
+  let s = Solver.preprocess ~accountant:acc ~prng:(Prng.create 2) ~graph:g ~t:4 ~k:3 () in
+  let prng = Prng.create 3 in
+  let b = Vec.mean_center (Vec.init 32 (fun _ -> Prng.gaussian prng)) in
+  let _ = Solver.solve ~accountant:acc s ~b ~eps:1e-8 in
+  let net =
+    Network.random (Prng.create 5) ~n:6 ~density:0.3 ~max_capacity:4 ~max_cost:4
+  in
+  let _ = Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create 7) net in
+  Printf.printf "instrumented pipeline (n=32 graph + |V|=6 flow), phase totals:\n";
+  List.iter
+    (fun (node : Rounds.tree) ->
+      Printf.printf "  %-12s %10d rounds %14d bits\n" node.Rounds.label
+        node.Rounds.t_rounds node.Rounds.t_bits)
+    (Rounds.tree acc);
+  report ~experiment:"E11"
+    ~title:"exact min-cost max-flow in O~(sqrt n) BCC rounds (Theorem 1.1)"
+    ~phases:(phases_of acc)
+    ~extra:
+      [
+        ("pipeline_rounds", Json.Int (Rounds.rounds acc));
+        ("pipeline_bits", Json.Int (Rounds.bits acc));
+      ]
+    [
+      cl ~direction:Report.Ge "fraction matching combinatorial optimum"
+        (float_of_int !exact_count /. float_of_int !total)
+        1.0;
+      cl "iterations scaling exponent (sqrt + polylog at small |V|)" expo 1.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E12: the Figure-1 pipeline                                          *)
@@ -449,8 +595,8 @@ let e12 () =
         (Solver.solve s ~b:vb ~eps:1e-10).Solver.solution)
       mdense y
   in
-  Printf.printf "3. SDD via Gremban + Thm 1.3 solver: relative error %.1e\n"
-    (Vec.dist2 x_sdd x_ref /. Vec.norm2 x_ref);
+  let sdd_err = Vec.dist2 x_sdd x_ref /. Vec.norm2 x_ref in
+  Printf.printf "3. SDD via Gremban + Thm 1.3 solver: relative error %.1e\n" sdd_err;
   let net =
     Network.random (Prng.create 5) ~n:8 ~density:0.3 ~max_capacity:5 ~max_cost:4
   in
@@ -463,11 +609,23 @@ let e12 () =
     (Problem.dense_normal_solver inst.Mcmf_lp.problem).Problem.solve ~d:d_test
       ~rhs:rhs_test
   in
+  let gremban_gap = Vec.dist2 s1 s2 /. Float.max 1.0 (Vec.norm2 s2) in
   Printf.printf "4. flow normal solve via Gremban doubling: agrees with dense %.1e\n"
-    (Vec.dist2 s1 s2 /. Float.max 1.0 (Vec.norm2 s2));
+    gremban_gap;
   let r = Mcmf_lp.solve ~prng:(Prng.create 7) net in
   Printf.printf "5. min-cost max-flow (Thm 1.1): value=%d cost=%d exact=%b\n"
-    r.Mcmf_lp.value r.Mcmf_lp.cost r.Mcmf_lp.matches_baseline
+    r.Mcmf_lp.value r.Mcmf_lp.cost r.Mcmf_lp.matches_baseline;
+  report ~experiment:"E12" ~title:"the Figure 1 pipeline, end to end"
+    ~phases:(phases_of acc)
+    [
+      cl "sparsifier eps_cert (epsilon target 0.5)" cert.Certify.epsilon_achieved 0.5;
+      cl "Laplacian solver residual (eps 1e-8)" sol.Solver.residual 1e-8;
+      cl "SDD relative error via Gremban" sdd_err 1e-6;
+      cl "flow normal solve Gremban vs dense gap" gremban_gap 1e-6;
+      cl ~direction:Report.Ge "min-cost flow exact"
+        (if r.Mcmf_lp.matches_baseline then 1.0 else 0.0)
+        1.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E13: naive baseline                                                 *)
@@ -476,6 +634,8 @@ let e13 () =
   section "E13" "context: rounds vs the naive 'ship the whole graph' baseline";
   Printf.printf "%4s %6s | %10s %9s | %12s\n" "n" "m" "naive rds" "sparsify"
     "solve(1e-8)";
+  let max_preproc_ratio = ref 0.0 in
+  let solve_rounds = Hashtbl.create 4 in
   List.iter
     (fun n ->
       let g = Gen.complete (Prng.create n) ~n ~w_max:8 in
@@ -490,12 +650,26 @@ let e13 () =
       let prng = Prng.create 5 in
       let b = Vec.mean_center (Vec.init n (fun _ -> Prng.gaussian prng)) in
       let r = Solver.solve s ~b ~eps:1e-8 in
+      max_preproc_ratio :=
+        Float.max !max_preproc_ratio
+          (float_of_int (Solver.preprocessing_rounds s)
+          /. (log2f (float_of_int n) ** 5.0));
+      Hashtbl.replace solve_rounds n r.Solver.rounds;
       Printf.printf "%4d %6d | %10d %9d | %12d\n" n m naive
         (Solver.preprocessing_rounds s)
         r.Solver.rounds)
     [ 16; 32; 64; 128 ];
   note "the naive baseline is Theta(n); sparsifier preprocessing is polylog-bounded\n";
-  note "but constants dominate at these n; per-solve rounds are far below both.\n"
+  note "but constants dominate at these n; per-solve rounds are far below both.\n";
+  report ~experiment:"E13"
+    ~title:"rounds vs the naive 'ship the whole graph' baseline"
+    [
+      cl "max preprocessing rounds / log2^5(n)" !max_preproc_ratio 2.0;
+      cl "solve rounds growth n=16 -> n=128 (vs 8x input growth)"
+        (float_of_int (Hashtbl.find solve_rounds 128)
+        /. float_of_int (Hashtbl.find solve_rounds 16))
+        8.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E14: the intro's SSSP context                                       *)
@@ -505,15 +679,25 @@ let e14 () =
   Printf.printf
     "%-6s %5s %5s | %12s | %10s %10s\n" "algo" "n" "diam" "model" "supersteps"
     "rounds";
+  let max_bcc_ratio = ref 0.0 in
   let run_all name make_result g =
-    List.iter
-      (fun (mname, model) ->
-        let r = make_result model g in
-        let supersteps, rounds = r in
-        Printf.printf "%-6s %5d %5.0f | %12s | %10d %10d\n" name (Graph.n g)
-          (Paths.diameter (Graph.map_weights (fun _ _ -> 1.0) g))
-          mname supersteps rounds)
-      [ ("BC", Model.broadcast_congest); ("BCC", Model.broadcast_congested_clique) ]
+    let per_model =
+      List.map
+        (fun (mname, model) ->
+          let r = make_result model g in
+          let supersteps, rounds = r in
+          Printf.printf "%-6s %5d %5.0f | %12s | %10d %10d\n" name (Graph.n g)
+            (Paths.diameter (Graph.map_weights (fun _ _ -> 1.0) g))
+            mname supersteps rounds;
+          rounds)
+        [ ("BC", Model.broadcast_congest); ("BCC", Model.broadcast_congested_clique) ]
+    in
+    match per_model with
+    | [ bc; bcc ] ->
+        if name <> "sssp" then
+          max_bcc_ratio :=
+            Float.max !max_bcc_ratio (float_of_int bcc /. float_of_int bc)
+    | _ -> ()
   in
   let ring = Gen.ring (Prng.create 14) ~n:64 ~w_max:8 in
   let er = Gen.erdos_renyi_connected (Prng.create 15) ~n:64 ~p:0.1 ~w_max:8 in
@@ -538,7 +722,10 @@ let e14 () =
     [ ("ring n=64", ring); ("sparse ER n=64", er) ];
   note "BFS/leader track the diameter in BC and flatten in the BCC; Bellman-Ford\n";
   note "SSSP stays Theta(n)-ish in both — the gap the paper's intro highlights\n";
-  note "(best known BCC SSSP is O~(sqrt n) [Nan14]; min-cost flow now matches it).\n"
+  note "(best known BCC SSSP is O~(sqrt n) [Nan14]; min-cost flow now matches it).\n";
+  report ~experiment:"E14"
+    ~title:"classical distributed primitives across the models"
+    [ cl "max BCC/BC round ratio (bfs, leader)" !max_bcc_ratio 1.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* E15: ablation — the stretch parameter k inside the sparsifier       *)
@@ -550,16 +737,26 @@ let e15 () =
      cheaper rounds)\n";
   Printf.printf "%2s | %6s %9s %8s\n" "k" "m_H" "eps_cert" "rounds";
   let g = Gen.erdos_renyi_connected (Prng.create 15) ~n:48 ~p:0.6 ~w_max:4 in
+  let sizes = Hashtbl.create 4 and eps_k2 = ref infinity in
   List.iter
     (fun k ->
       let r = Sparsify.run ~prng:(Prng.create 16) ~graph:g ~epsilon:0.5 ~t:4 ~k () in
       let c = Certify.exact g r.Sparsify.sparsifier in
+      Hashtbl.replace sizes k (Graph.m r.Sparsify.sparsifier);
+      if k = 2 then eps_k2 := c.Certify.epsilon_achieved;
       Printf.printf "%2d | %6d %9.3f %8d\n" k
         (Graph.m r.Sparsify.sparsifier)
         c.Certify.epsilon_achieved r.Sparsify.rounds)
     [ 2; 3; 4; 6 ];
   note "the k knob trades sparsifier size and quality against round count —\n";
-  note "the paper's k = ceil(log n) sits at the cheap-rounds end.\n"
+  note "the paper's k = ceil(log n) sits at the cheap-rounds end.\n";
+  report ~experiment:"E15" ~title:"ablation: spanner stretch k inside the sparsifier"
+    [
+      cl "eps_cert at k=2 (epsilon target 0.5)" !eps_k2 0.5;
+      cl "m_H(k=6) / m_H(k=2) (size shrinks with k)"
+        (float_of_int (Hashtbl.find sizes 6) /. float_of_int (Hashtbl.find sizes 2))
+        1.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* E16: ablation — Chebyshev vs CG as the outer iteration              *)
@@ -573,6 +770,7 @@ let e16 () =
   Printf.printf "%7s %8s | %10s %10s\n" "kappa" "eps" "chebyshev" "pcg";
   let n = 64 in
   let prng = Prng.create 16 in
+  let max_cheb_ratio = ref 0.0 and max_pcg_ratio = ref 0.0 in
   List.iter
     (fun kappa ->
       let d =
@@ -593,12 +791,26 @@ let e16 () =
             Lbcc_linalg.Cg.solve_preconditioned ~matvec:(Dense.matvec a)
               ~precond:solve_b ~b ~tol:eps ()
           in
+          max_cheb_ratio :=
+            Float.max !max_cheb_ratio
+              (float_of_int cheb.Chebyshev.iterations
+              /. float_of_int (Chebyshev.iterations_bound ~kappa ~eps));
+          max_pcg_ratio :=
+            Float.max !max_pcg_ratio
+              (float_of_int pcg.Lbcc_linalg.Cg.iterations
+              /. float_of_int cheb.Chebyshev.iterations);
           Printf.printf "%7.0f %8.0e | %10d %10d\n" kappa eps
             cheb.Chebyshev.iterations pcg.Lbcc_linalg.Cg.iterations)
         [ 1e-6; 1e-10 ])
     [ 10.0; 1000.0 ];
   note "CG wins iterations (optimal Krylov) but is adaptive; Chebyshev's count\n";
-  note "is fixed by (kappa, eps) — the property the BCC schedule needs.\n"
+  note "is fixed by (kappa, eps) — the property the BCC schedule needs.\n";
+  report ~experiment:"E16"
+    ~title:"ablation: preconditioned Chebyshev vs preconditioned CG"
+    [
+      cl "max chebyshev iterations / bound" !max_cheb_ratio 1.0;
+      cl "max pcg / chebyshev iteration ratio" !max_pcg_ratio 1.0;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -655,25 +867,65 @@ let micro () =
 
 let all_experiments =
   [
-    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("micro", micro);
+    ("E1", fun () -> Some (e1 ()));
+    ("E2", fun () -> Some (e2 ()));
+    ("E3", fun () -> Some (e3 ()));
+    ("E4", fun () -> Some (e4 ()));
+    ("E5", fun () -> Some (e5 ()));
+    ("E6", fun () -> Some (e6 ()));
+    ("E7", fun () -> Some (e7 ()));
+    ("E8", fun () -> Some (e8 ()));
+    ("E9", fun () -> Some (e9 ()));
+    ("E10", fun () -> Some (e10 ()));
+    ("E11", fun () -> Some (e11 ()));
+    ("E12", fun () -> Some (e12 ()));
+    ("E13", fun () -> Some (e13 ()));
+    ("E14", fun () -> Some (e14 ()));
+    ("E15", fun () -> Some (e15 ()));
+    ("E16", fun () -> Some (e16 ()));
+    ("micro", fun () -> micro (); None);
   ]
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [E1..E16|micro]... [--json] [--out DIR]\n\
+     --json writes one BENCH_<EXP>.json per selected experiment (micro has\n\
+     no report); --out selects the output directory (default: cwd).";
+  exit 2
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_experiments
+  let rec parse ids json out = function
+    | [] -> (List.rev ids, json, out)
+    | "--json" :: rest -> parse ids true out rest
+    | "--out" :: dir :: rest -> parse ids json dir rest
+    | [ "--out" ] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | id :: rest -> parse (id :: ids) json out rest
   in
+  let ids, json, out = parse [] false "." (List.tl (Array.to_list Sys.argv)) in
+  let requested = if ids = [] then List.map fst all_experiments else ids in
   Printf.printf "Laplacian paradigm in the BCC — experiment harness\n";
   Printf.printf "experiments: %s\n" (String.concat " " requested);
+  let failures = ref [] in
   List.iter
     (fun id ->
       match List.assoc_opt id all_experiments with
       | Some f ->
           let t0 = Unix.gettimeofday () in
-          f ();
+          let r = f () in
+          (match r with
+          | Some r ->
+              if not (Report.all_within r) then failures := id :: !failures;
+              if json then
+                let path = Report.write ~dir:out r in
+                Printf.printf "[%s report: %s within_bound=%b]\n" id path
+                  (Report.all_within r)
+          | None -> ());
           Printf.printf "[%s done in %.1fs]\n" id (Unix.gettimeofday () -. t0)
       | None -> Printf.printf "unknown experiment %s\n" id)
-    requested
+    requested;
+  match List.rev !failures with
+  | [] -> ()
+  | bad ->
+      Printf.printf "CLAIMS OUT OF BOUND: %s\n" (String.concat " " bad);
+      exit 1

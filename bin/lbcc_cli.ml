@@ -21,6 +21,10 @@ module Fault = Lbcc_net.Fault
 module Bfs = Lbcc_dist.Bfs
 module Sssp = Lbcc_dist.Sssp
 module Leader = Lbcc_dist.Leader
+module Trace = Lbcc_obs.Trace
+module Metrics = Lbcc_obs.Metrics
+module Json = Lbcc_obs.Json
+module Report = Lbcc_obs.Report
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -56,6 +60,54 @@ let make_graph family seed n w_max =
       Gen.torus prng ~rows:side ~cols:side ~w_max
   | `Geometric -> Gen.random_geometric prng ~n ~radius:0.3 ~w_max
   | `Barbell -> Gen.barbell prng ~clique:(Stdlib.max 2 (n / 3)) ~path:(Stdlib.max 1 (n / 3)) ~w_max
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags (sparsify / solve / flow)                       *)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the hierarchical span tree after the run: per-phase \
+           simulated rounds, broadcast bits, engine supersteps and wall \
+           clock.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "After the run, print a JSON document with the span tree and the \
+           metrics registry as the final line of output (single-line, so \
+           $(b,tail -1) extracts it).")
+
+(* The self-healing Resilient wrappers do not thread a tracer (each retry
+   would need its own accountant), so the observability flags apply to the
+   direct path only. *)
+let make_obs ~trace ~json max_retries =
+  if (trace || json) && max_retries <> None then begin
+    prerr_endline "warning: --trace/--json are ignored with --max-retries";
+    (None, None)
+  end
+  else
+    ( (if trace || json then Some (Trace.create ()) else None),
+      if trace || json then Some (Metrics.create ()) else None )
+
+let emit_obs ~trace ~json tracer metrics =
+  (match tracer with
+  | Some tr when trace ->
+      Printf.printf "trace:\n";
+      Format.printf "%a@?" Trace.pp tr
+  | _ -> ());
+  if json then
+    let fields =
+      (match tracer with Some tr -> [ ("trace", Trace.to_json tr) ] | None -> [])
+      @
+      match metrics with Some m -> [ ("metrics", Metrics.to_json m) ] | None -> []
+    in
+    (* Single line so tooling can [tail -1] it out of the mixed output. *)
+    print_endline (Json.to_string (Json.Obj fields))
 
 let pp_rounds (r : Lbcc.rounds_report) =
   Printf.printf "rounds: %d total (B = %d bits/message)\n" r.Lbcc.total r.Lbcc.bandwidth;
@@ -151,11 +203,12 @@ let sparsify_cmd =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Target spectral error.")
   in
   let t = Arg.(value & opt (some int) None & info [ "t"; "bundle" ] ~doc:"Bundle size override.") in
-  let run seed n family w_max epsilon t max_retries =
+  let run seed n family w_max epsilon t max_retries trace json =
     let g = make_graph family seed n w_max in
     Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
     match max_retries with
     | Some max_retries ->
+        ignore (make_obs ~trace ~json (Some max_retries));
         let o = Resilient.sparsify ~seed ~epsilon ?t ~max_retries g in
         pp_outcome "sparsify" o;
         Option.iter
@@ -165,20 +218,22 @@ let sparsify_cmd =
             pp_rounds r.Lbcc.rounds)
           o.Resilient.value
     | None ->
-        let r = Lbcc.sparsify ~seed ~epsilon ?t g in
+        let tracer, metrics = make_obs ~trace ~json None in
+        let r = Lbcc.sparsify ~seed ~epsilon ?t ?tracer ?metrics g in
         Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
           (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
-        pp_rounds r.Lbcc.rounds
+        pp_rounds r.Lbcc.rounds;
+        emit_obs ~trace ~json tracer metrics
   in
   Cmd.v
     (Cmd.info "sparsify" ~doc:"Spectral sparsification (Theorem 1.2)")
     Term.(
       const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
-      $ max_retries_arg)
+      $ max_retries_arg $ trace_arg $ json_arg)
 
 let solve_cmd =
   let eps = Arg.(value & opt float 1e-8 & info [ "eps" ] ~doc:"Solution accuracy.") in
-  let run seed n family w_max eps max_retries =
+  let run seed n family w_max eps max_retries trace json =
     let g = make_graph family seed n w_max in
     let nv = Graph.n g in
     Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
@@ -193,14 +248,20 @@ let solve_cmd =
     in
     match max_retries with
     | Some max_retries ->
+        ignore (make_obs ~trace ~json (Some max_retries));
         let o = Resilient.solve_laplacian ~seed ~eps ~max_retries g ~b in
         pp_outcome "solve" o;
         Option.iter report o.Resilient.value
-    | None -> report (Lbcc.solve_laplacian ~seed ~eps g ~b)
+    | None ->
+        let tracer, metrics = make_obs ~trace ~json None in
+        report (Lbcc.solve_laplacian ~seed ~eps ?tracer ?metrics g ~b);
+        emit_obs ~trace ~json tracer metrics
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Laplacian solving (Theorem 1.3)")
-    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps $ max_retries_arg)
+    Term.(
+      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps
+      $ max_retries_arg $ trace_arg $ json_arg)
 
 let spanner_cmd =
   let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
@@ -246,7 +307,8 @@ let flow_cmd =
       & info [ "output-dot" ] ~docv:"FILE"
           ~doc:"Write the network with the optimal flow as Graphviz DOT.")
   in
-  let run seed n density max_capacity max_cost input output_dot max_retries =
+  let run seed n density max_capacity max_cost input output_dot max_retries trace
+      json =
     let net =
       match input with
       | Some path -> Lbcc_flow.Network_io.load path
@@ -274,16 +336,20 @@ let flow_cmd =
     in
     match max_retries with
     | Some max_retries ->
+        ignore (make_obs ~trace ~json (Some max_retries));
         let o = Resilient.min_cost_max_flow ~seed ~max_retries net in
         pp_outcome "flow" o;
         Option.iter report o.Resilient.value
-    | None -> report (Lbcc.min_cost_max_flow ~seed net)
+    | None ->
+        let tracer, metrics = make_obs ~trace ~json None in
+        report (Lbcc.min_cost_max_flow ~seed ?tracer ?metrics net);
+        emit_obs ~trace ~json tracer metrics
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Exact minimum-cost maximum flow (Theorem 1.1)")
     Term.(
       const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
-      $ output_dot $ max_retries_arg)
+      $ output_dot $ max_retries_arg $ trace_arg $ json_arg)
 
 let dist_cmd =
   let algo_arg =
@@ -433,10 +499,61 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a graph or flow network file")
     Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ kind $ out)
 
+let report_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"BENCH_<EXP>.json files to check.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Check each file against the lbcc-bench/1 schema (required keys, \
+             field types, within_bound consistency).  This is currently the \
+             only mode and may be omitted.")
+  in
+  let run _validate files =
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        let contents =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Json.of_string contents with
+        | exception Json.Parse_error e ->
+            incr bad;
+            Printf.printf "%s: invalid JSON: %s\n" path e
+        | j -> (
+            match Report.validate j with
+            | Ok () ->
+                let within =
+                  match Json.member "within_bound" j with
+                  | Some (Json.Bool b) -> b
+                  | _ -> false
+                in
+                Printf.printf "%s: ok (within_bound=%b)\n" path within
+            | Error e ->
+                incr bad;
+                Printf.printf "%s: schema error: %s\n" path e))
+      files;
+    if !bad > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Validate machine-readable benchmark reports (lbcc-bench/1)")
+    Term.(const run $ validate $ files)
+
 let main_cmd =
   let doc = "The Laplacian paradigm in the Broadcast Congested Clique" in
   Cmd.group
     (Cmd.info "lbcc" ~version:Lbcc.version ~doc)
-    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; dist_cmd; gen_cmd ]
+    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; dist_cmd; gen_cmd;
+      report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,21 +4,40 @@ module Network = Lbcc_flow.Network
 module Vec = Lbcc_linalg.Vec
 module Rounds = Lbcc_net.Rounds
 module Model = Lbcc_net.Model
+module Trace = Lbcc_obs.Trace
+module Metrics = Lbcc_obs.Metrics
 
 let version = "1.0.0"
 
 type rounds_report = {
   total : int;
+  bits : int;
   breakdown : (string * int) list;
+  bits_breakdown : (string * int) list;
   bandwidth : int;
 }
 
 let report_of acc =
   {
     total = Rounds.rounds acc;
+    bits = Rounds.bits acc;
     breakdown = Rounds.breakdown acc;
+    bits_breakdown = Rounds.bits_breakdown acc;
     bandwidth = Rounds.bandwidth acc;
   }
+
+(* One accountant per entry point, tracer attached so phase spans nest under
+   whatever span the caller currently has open. *)
+let fresh_accountant ?tracer ~n () =
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+  Rounds.set_tracer acc tracer;
+  acc
+
+let observe_run ?metrics ~op acc =
+  Metrics.inc metrics (op ^ ".calls");
+  Metrics.inc metrics ~by:(Rounds.rounds acc) "rounds.total";
+  Metrics.inc metrics ~by:(Rounds.bits acc) "bits.total";
+  Metrics.observe metrics (op ^ ".rounds") (float_of_int (Rounds.rounds acc))
 
 type sparsifier_result = {
   sparsifier : Graph.t;
@@ -27,9 +46,9 @@ type sparsifier_result = {
   rounds : rounds_report;
 }
 
-let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t g =
+let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t ?tracer ?metrics g =
   let n = Graph.n g in
-  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+  let acc = fresh_accountant ?tracer ~n () in
   let prng = Prng.create seed in
   let r = Lbcc_sparsifier.Sparsify.run ~accountant:acc ?t ~prng ~graph:g ~epsilon () in
   let cert =
@@ -39,10 +58,15 @@ let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t g =
         r.Lbcc_sparsifier.Sparsify.sparsifier ~samples:64
   in
   let out_deg = Lbcc_sparsifier.Sparsify.out_degrees r in
+  let out_degree_max = Array.fold_left Stdlib.max 0 out_deg in
+  observe_run ?metrics ~op:"sparsify" acc;
+  Metrics.set_gauge metrics "sparsify.epsilon_achieved"
+    cert.Lbcc_sparsifier.Certify.epsilon_achieved;
+  Metrics.set_gauge metrics "sparsify.out_degree_max" (float_of_int out_degree_max);
   {
     sparsifier = r.Lbcc_sparsifier.Sparsify.sparsifier;
     epsilon_achieved = cert.Lbcc_sparsifier.Certify.epsilon_achieved;
-    out_degree_max = Array.fold_left Stdlib.max 0 out_deg;
+    out_degree_max;
     rounds = report_of acc;
   }
 
@@ -52,18 +76,25 @@ type laplacian_result = {
   iterations : int;
   preprocessing_rounds : int;
   solve_rounds : int;
+  rounds : rounds_report;
 }
 
-let solve_laplacian ?(seed = 1) ?(eps = 1e-8) g ~b =
+let solve_laplacian ?(seed = 1) ?(eps = 1e-8) ?tracer ?metrics g ~b =
   let prng = Prng.create seed in
-  let solver = Lbcc_laplacian.Solver.preprocess ~prng ~graph:g () in
-  let r = Lbcc_laplacian.Solver.solve solver ~b ~eps in
+  let acc = fresh_accountant ?tracer ~n:(Graph.n g) () in
+  let solver = Lbcc_laplacian.Solver.preprocess ~accountant:acc ~prng ~graph:g () in
+  let r = Lbcc_laplacian.Solver.solve ~accountant:acc solver ~b ~eps in
+  observe_run ?metrics ~op:"solve" acc;
+  Metrics.set_gauge metrics "solve.residual" r.Lbcc_laplacian.Solver.residual;
+  Metrics.set_gauge metrics "solve.iterations"
+    (float_of_int r.Lbcc_laplacian.Solver.iterations);
   {
     solution = r.Lbcc_laplacian.Solver.solution;
     residual = r.Lbcc_laplacian.Solver.residual;
     iterations = r.Lbcc_laplacian.Solver.iterations;
     preprocessing_rounds = Lbcc_laplacian.Solver.preprocessing_rounds solver;
     solve_rounds = r.Lbcc_laplacian.Solver.rounds;
+    rounds = report_of acc;
   }
 
 type flow_result = {
@@ -75,9 +106,14 @@ type flow_result = {
   rounds : rounds_report;
 }
 
-let min_cost_max_flow ?(seed = 1) net =
-  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n:net.Network.n) in
+let min_cost_max_flow ?(seed = 1) ?tracer ?metrics net =
+  let acc = fresh_accountant ?tracer ~n:net.Network.n () in
   let r = Lbcc_flow.Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create seed) net in
+  observe_run ?metrics ~op:"mcmf" acc;
+  Metrics.set_gauge metrics "mcmf.ipm_iterations"
+    (float_of_int r.Lbcc_flow.Mcmf_lp.iterations);
+  Metrics.set_gauge metrics "mcmf.value" (float_of_int r.Lbcc_flow.Mcmf_lp.value);
+  Metrics.set_gauge metrics "mcmf.cost" (float_of_int r.Lbcc_flow.Mcmf_lp.cost);
   {
     flow = r.Lbcc_flow.Mcmf_lp.flow;
     value = r.Lbcc_flow.Mcmf_lp.value;

@@ -20,7 +20,13 @@ module Vec = Lbcc_linalg.Vec
 
 type rounds_report = {
   total : int;  (** rounds charged in the simulated model *)
-  breakdown : (string * int) list;  (** per-phase label totals *)
+  bits : int;
+      (** broadcast bits recorded (per-superstep maxima, the quantity the
+          lockstep model divides by B) *)
+  breakdown : (string * int) list;
+      (** rounds per hierarchical label path ("sparsify/spanner-..."),
+          first-charge order *)
+  bits_breakdown : (string * int) list;  (** bits, same labels and order *)
   bandwidth : int;  (** B, bits per message per round *)
 }
 
@@ -34,9 +40,18 @@ type sparsifier_result = {
 }
 
 val sparsify :
-  ?seed:int -> ?epsilon:float -> ?t:int -> Graph.t -> sparsifier_result
+  ?seed:int ->
+  ?epsilon:float ->
+  ?t:int ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  Graph.t ->
+  sparsifier_result
 (** Spectral sparsification (Theorem 1.2) of a connected weighted graph.
-    [epsilon] defaults to [0.5]; [t] overrides the bundle size. *)
+    [epsilon] defaults to [0.5]; [t] overrides the bundle size.  With a
+    [?tracer] the run's phases open spans under the caller's current span;
+    with [?metrics] the run bumps the registry (see the "Metrics" section
+    of the README for the label set). *)
 
 type laplacian_result = {
   solution : Vec.t;
@@ -44,10 +59,17 @@ type laplacian_result = {
   iterations : int;
   preprocessing_rounds : int;
   solve_rounds : int;
+  rounds : rounds_report;  (** full accounting (preprocess + solve) *)
 }
 
 val solve_laplacian :
-  ?seed:int -> ?eps:float -> Graph.t -> b:Vec.t -> laplacian_result
+  ?seed:int ->
+  ?eps:float ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  Graph.t ->
+  b:Vec.t ->
+  laplacian_result
 (** High-precision Laplacian solve (Theorem 1.3): [eps] defaults to
     [1e-8]; [b] must have zero sum; the graph must be connected. *)
 
@@ -60,7 +82,12 @@ type flow_result = {
   rounds : rounds_report;
 }
 
-val min_cost_max_flow : ?seed:int -> Network.t -> flow_result
+val min_cost_max_flow :
+  ?seed:int ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  Network.t ->
+  flow_result
 (** Exact minimum-cost maximum s-t flow (Theorem 1.1) through the interior
     point pipeline, certified against successive shortest paths. *)
 

@@ -217,6 +217,7 @@ let solve ?accountant ?(config = Ipm.default_config) ?constants ?eps ~prng net =
   in
   let eps = match eps with Some e -> e | None -> 1.0 /. (12.0 *. mm) in
   let x_lp, trace =
+    Rounds.with_phase acc "mcmf" @@ fun () ->
     Ipm.lp_solve ~accountant:acc ~config ~prng ~problem:inst.problem ~solver
       ~x0:inst.x0 ~eps ()
   in

@@ -33,6 +33,8 @@ let preprocess ?accountant ?t ?t_scale ?k ?certify ~prng ~graph () =
     match accountant with Some a -> a | None -> Rounds.create ~bandwidth
   in
   let start = Rounds.checkpoint acc in
+  Rounds.with_phase acc "solve" @@ fun () ->
+  Rounds.with_phase acc "preprocess" @@ fun () ->
   let sp =
     Sparsify.run ~accountant:acc ?t ?t_scale ?k ~prng ~graph ~epsilon:0.5 ()
   in
@@ -83,6 +85,7 @@ let solve ?accountant t ~b ~eps =
     | None -> Rounds.create ~bandwidth:t.bandwidth
   in
   let start = Rounds.checkpoint acc in
+  Rounds.with_phase acc "solve" @@ fun () ->
   (* Each Chebyshev iteration: one distributed L_G-matvec (a vector
      exchange: every vertex broadcasts its O(log(nU/eps))-bit coordinate)
      and one vertex-internal L_H solve (free). *)

@@ -295,6 +295,7 @@ let lp_solve ?accountant ?(config = default_config) ~prng ~problem ~solver ~x0
   if eps <= 0.0 then invalid_arg "Ipm.lp_solve: eps must be positive";
   if not (Problem.interior problem x0) then
     invalid_arg "Ipm.lp_solve: x0 must be strictly interior";
+  Rounds.with_phase_opt accountant "ipm" @@ fun () ->
   let m = float_of_int (Problem.m problem) in
   let u = Problem.big_u problem ~x0 in
   let w, _ = initial_weights ?accountant ~config ~prng ~problem ~solver ~x0 () in

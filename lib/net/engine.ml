@@ -45,11 +45,12 @@ let finish ~label ~on_timeout ~live ~supersteps ~rounds ~messages_sent
   ( states,
     { supersteps; rounds; messages_sent; total_bits; converged } )
 
-let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000)
+let run ?accountant ?tracer ?(label = "engine") ?(max_supersteps = 1_000_000)
     ?(on_timeout = `Truncate) ?faults ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Broadcast -> ()
   | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
   let faults = active_faults faults in
   let n = Graph.n graph in
   let neighbors =
@@ -102,9 +103,11 @@ let run ?accountant ?(label = "engine") ?(max_supersteps = 1_000_000)
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
     rounds := !rounds + cost;
     (match accountant with
-    | Some acc -> Rounds.charge acc ~label ~rounds:cost
+    | Some acc -> Rounds.charge acc ~label ~bits:(Stdlib.max 1 !max_bits) ~rounds:cost
     | None -> ())
   done;
+  Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
+    ~supersteps:!supersteps ~messages:!messages_sent ();
   finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
     ~messages_sent:!messages_sent ~total_bits:!total_bits states
 
@@ -115,12 +118,14 @@ type ('state, 'msg) unicast_step =
   'msg inbox ->
   'state * (int * 'msg) list * bool
 
-let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000_000)
-    ?(on_timeout = `Truncate) ?faults ~model ~graph ~size_bits ~init ~step () =
+let run_unicast ?accountant ?tracer ?(label = "engine-unicast")
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults ~model
+    ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Unicast -> ()
   | Model.Broadcast ->
       invalid_arg "Engine.run_unicast: use run for broadcast disciplines");
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
   let faults = active_faults faults in
   let n = Graph.n graph in
   let allowed =
@@ -184,8 +189,10 @@ let run_unicast ?accountant ?(label = "engine-unicast") ?(max_supersteps = 1_000
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
     rounds := !rounds + cost;
     (match accountant with
-    | Some acc -> Rounds.charge acc ~label ~rounds:cost
+    | Some acc -> Rounds.charge acc ~label ~bits:(Stdlib.max 1 !max_bits) ~rounds:cost
     | None -> ())
   done;
+  Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
+    ~supersteps:!supersteps ~messages:!messages_sent ();
   finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
     ~messages_sent:!messages_sent ~total_bits:!total_bits states

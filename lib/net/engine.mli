@@ -6,7 +6,10 @@
     broadcasts one message.  The engine enforces the broadcast discipline
     (one outgoing message per vertex per superstep, delivered identically to
     all neighbors) and charges the accountant [ceil(max_bits/B)] rounds per
-    superstep.
+    superstep, recording the per-superstep maximum message bits alongside.
+    With a [?tracer] the whole run executes inside a span named [label] that
+    receives the run's rounds, aggregate sent bits, supersteps and message
+    count.
 
     Delivery is lossless and crash-free unless a {!Fault.t} is supplied: then
     each (sender, receiver) delivery may be dropped or duplicated and
@@ -50,6 +53,7 @@ type on_timeout = [ `Truncate | `Raise ]
 
 val run :
   ?accountant:Rounds.t ->
+  ?tracer:Lbcc_obs.Trace.t ->
   ?label:string ->
   ?max_supersteps:int ->
   ?on_timeout:on_timeout ->
@@ -80,6 +84,7 @@ type ('state, 'msg) unicast_step =
 
 val run_unicast :
   ?accountant:Rounds.t ->
+  ?tracer:Lbcc_obs.Trace.t ->
   ?label:string ->
   ?max_supersteps:int ->
   ?on_timeout:on_timeout ->

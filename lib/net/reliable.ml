@@ -62,10 +62,11 @@ let inbox_of_got got =
     got []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let run ?accountant ?(label = "reliable") ?(max_supersteps = 100_000)
+let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
     ?(on_timeout = `Truncate) ?(patience = 30) ?faults ~model ~graph ~size_bits
     ~init ~step () =
   if patience < 1 then invalid_arg "Reliable.run: patience must be >= 1";
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
   let n = Graph.n graph in
   let neighbors_of v =
     match model.Model.topology with
@@ -171,11 +172,26 @@ let run ?accountant ?(label = "reliable") ?(max_supersteps = 100_000)
   let virtual_supersteps = !max_vround in
   let protocol_rounds = Stdlib.min virtual_supersteps stats.Engine.rounds in
   let retransmit_rounds = stats.Engine.rounds - protocol_rounds in
+  let suspected_count = Hashtbl.length globally_suspected in
+  (* The per-superstep bit maxima are not recoverable after the fact, so the
+     aggregate bits the real execution broadcast are attributed to the
+     protocol label; the retransmit label carries rounds only. *)
   (match accountant with
   | Some acc ->
-      Rounds.charge acc ~label ~rounds:protocol_rounds;
+      Rounds.charge acc ~label ~bits:stats.Engine.total_bits
+        ~rounds:protocol_rounds;
       Rounds.charge acc ~label:(retransmit_label label) ~rounds:retransmit_rounds
   | None -> ());
+  Lbcc_obs.Trace.add tracer ~rounds:stats.Engine.rounds
+    ~bits:stats.Engine.total_bits ~supersteps:stats.Engine.supersteps
+    ~messages:stats.Engine.messages_sent ();
+  Lbcc_obs.Trace.set_attr tracer "virtual_supersteps"
+    (Lbcc_obs.Json.Int virtual_supersteps);
+  Lbcc_obs.Trace.set_attr tracer "protocol_rounds"
+    (Lbcc_obs.Json.Int protocol_rounds);
+  Lbcc_obs.Trace.set_attr tracer "retransmit_rounds"
+    (Lbcc_obs.Json.Int retransmit_rounds);
+  Lbcc_obs.Trace.set_attr tracer "suspected" (Lbcc_obs.Json.Int suspected_count);
   {
     states = Array.map (fun v -> v.inner) vertices;
     stats;

@@ -29,7 +29,13 @@
     two labels — [label] receives one charge per completed virtual
     superstep (what the lossless protocol pays), and [label ^ "/retransmit"]
     receives the remainder: retransmissions, ack piggybacking, and
-    round-stamp overhead. *)
+    round-stamp overhead.  The aggregate bits the real execution broadcast
+    are recorded under the protocol label (the per-superstep maxima are not
+    recoverable after the fact).  With a [?tracer] the run executes inside
+    a span named [label] carrying the real execution's counters plus
+    [virtual_supersteps], [protocol_rounds], [retransmit_rounds] and
+    [suspected] attributes; the tracer is {e not} passed to the inner
+    engine, so the span's counters are not double-counted. *)
 
 module Graph = Lbcc_graph.Graph
 
@@ -49,6 +55,7 @@ val retransmit_label : string -> string
 
 val run :
   ?accountant:Rounds.t ->
+  ?tracer:Lbcc_obs.Trace.t ->
   ?label:string ->
   ?max_supersteps:int ->
   ?on_timeout:Engine.on_timeout ->

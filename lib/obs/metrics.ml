@@ -1,0 +1,136 @@
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  counts : (int, int ref) Hashtbl.t; (* bucket exponent -> count *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+}
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let inc reg ?(by = 1) name =
+  match reg with
+  | None -> ()
+  | Some r ->
+      if by < 0 then invalid_arg "Metrics.inc: negative increment";
+      (match Hashtbl.find_opt r.counters name with
+      | Some c -> c := !c + by
+      | None -> Hashtbl.add r.counters name (ref by))
+
+let set_gauge reg name v =
+  match reg with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.gauges name with
+      | Some g -> g := v
+      | None -> Hashtbl.add r.gauges name (ref v))
+
+(* Underflow (v <= 0) uses a sentinel exponent below any ceil(log2 v). *)
+let underflow_bucket = min_int
+
+let bucket_of v =
+  if v <= 0.0 then underflow_bucket
+  else Stdlib.max (-1074) (int_of_float (Float.ceil (Float.log2 v)))
+
+let bucket_bound e = if e = underflow_bucket then 0.0 else Float.pow 2.0 (float_of_int e)
+
+let observe reg name v =
+  match reg with
+  | None -> ()
+  | Some r ->
+      let h =
+        match Hashtbl.find_opt r.histograms name with
+        | Some h -> h
+        | None ->
+            let h =
+              { count = 0; sum = 0.0; min = infinity; max = neg_infinity;
+                counts = Hashtbl.create 8 }
+            in
+            Hashtbl.add r.histograms name h;
+            h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      h.min <- Float.min h.min v;
+      h.max <- Float.max h.max v;
+      let b = bucket_of v in
+      (match Hashtbl.find_opt h.counts b with
+      | Some c -> incr c
+      | None -> Hashtbl.add h.counts b (ref 1))
+
+let counter r name =
+  match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0
+
+let gauge r name = Option.map ( ! ) (Hashtbl.find_opt r.gauges name)
+
+let summary_of h =
+  let buckets =
+    Hashtbl.fold (fun e c acc -> (e, !c) :: acc) h.counts []
+    |> List.sort compare
+    |> List.map (fun (e, c) -> (bucket_bound e, c))
+  in
+  { count = h.count; sum = h.sum; min = h.min; max = h.max; buckets }
+
+let histogram r name = Option.map summary_of (Hashtbl.find_opt r.histograms name)
+
+let names r =
+  let collect tbl acc = Hashtbl.fold (fun k _ acc -> k :: acc) tbl acc in
+  collect r.counters (collect r.gauges (collect r.histograms []))
+  |> List.sort_uniq compare
+
+let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let to_json r =
+  let counters =
+    List.map (fun k -> (k, Json.Int (counter r k))) (sorted_keys r.counters)
+  in
+  let gauges =
+    List.map
+      (fun k -> (k, Json.Float (Option.get (gauge r k))))
+      (sorted_keys r.gauges)
+  in
+  let histograms =
+    List.map
+      (fun k ->
+        let s = Option.get (histogram r k) in
+        ( k,
+          Json.Obj
+            [
+              ("count", Json.Int s.count);
+              ("sum", Json.Float s.sum);
+              ("min", Json.Float s.min);
+              ("max", Json.Float s.max);
+              ( "buckets",
+                Json.Arr
+                  (List.map
+                     (fun (le, c) ->
+                       Json.Obj [ ("le", Json.Float le); ("count", Json.Int c) ])
+                     s.buckets) );
+            ] ))
+      (sorted_keys r.histograms)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]

@@ -1,0 +1,49 @@
+(** Metrics registry: counters, gauges, log-scale histograms.
+
+    A registry is a flat namespace of metrics keyed by label ("sparsify.runs",
+    "solve.iterations", ...).  Counters accumulate integers, gauges hold the
+    last value set, histograms bucket observations at powers of two (the
+    quantities measured here — rounds, iterations, bits — span orders of
+    magnitude, where linear buckets are useless).
+
+    As with {!Trace}, every mutator takes the registry as an [option] so
+    instrumented code can thread an optional argument through at zero cost
+    when observability is off. *)
+
+type t
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+      (** [(upper_bound, count)] for non-empty buckets, ascending; an
+          observation [v] lands in the smallest bucket with [v <= 2^e] *)
+}
+
+val create : unit -> t
+
+val inc : t option -> ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use).  [by] defaults to 1 and must
+    be [>= 0]. *)
+
+val set_gauge : t option -> string -> float -> unit
+
+val observe : t option -> string -> float -> unit
+(** Add an observation to a histogram.  Non-positive values land in a
+    dedicated underflow bucket (bound [0.]). *)
+
+val counter : t -> string -> int
+(** 0 when the counter was never bumped. *)
+
+val gauge : t -> string -> float option
+
+val histogram : t -> string -> histogram_summary option
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val to_json : t -> Json.t
+(** [{counters: {...}, gauges: {...}, histograms: {...}}], each sorted by
+    name. *)

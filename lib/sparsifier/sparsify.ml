@@ -32,6 +32,7 @@ let run ?accountant ?k ?t ?t_scale ?iterations ~prng ~graph ~epsilon () =
     | None -> Rounds.create ~bandwidth:(Model.bandwidth ~n)
   in
   let start_rounds = Rounds.checkpoint acc in
+  Rounds.with_phase acc "sparsify" @@ fun () ->
   let k = match k with Some k -> k | None -> default_k ~n in
   let t = match t with Some t -> t | None -> default_t ?t_scale ~n ~epsilon () in
   let iterations =

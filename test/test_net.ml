@@ -61,6 +61,74 @@ let test_rounds_rejects_bad () =
     (Invalid_argument "Rounds.create: bandwidth must be >= 1") (fun () ->
       ignore (Rounds.create ~bandwidth:0))
 
+let sum_snd l = List.fold_left (fun s (_, v) -> s + v) 0 l
+
+let test_rounds_breakdown_sums () =
+  let acc = Rounds.create ~bandwidth:10 in
+  Rounds.charge ~bits:7 acc ~label:"b" ~rounds:2;
+  Rounds.charge_broadcast acc ~label:"a" ~bits:25;
+  Rounds.with_phase acc "p" (fun () ->
+      Rounds.charge_vector acc ~label:"v" ~entry_bits:12;
+      Rounds.charge_broadcast acc ~label:"a" ~bits:4);
+  Rounds.charge acc ~label:"b" ~rounds:1;
+  Alcotest.(check int) "breakdown sums to rounds" (Rounds.rounds acc)
+    (sum_snd (Rounds.breakdown acc));
+  Alcotest.(check int) "bits breakdown sums to bits" (Rounds.bits acc)
+    (sum_snd (Rounds.bits_breakdown acc));
+  Alcotest.(check (list string)) "first-charge label order"
+    [ "b"; "a"; "p/v"; "p/a" ]
+    (List.map fst (Rounds.breakdown acc));
+  Alcotest.(check (list string)) "bits breakdown shares the order"
+    (List.map fst (Rounds.breakdown acc))
+    (List.map fst (Rounds.bits_breakdown acc))
+
+let test_rounds_reset_clears_hierarchy () =
+  let acc = Rounds.create ~bandwidth:8 in
+  Rounds.with_phase acc "outer" (fun () ->
+      Rounds.charge acc ~label:"x" ~rounds:1;
+      Rounds.reset acc;
+      Alcotest.(check int) "totals cleared" 0 (Rounds.rounds acc);
+      Alcotest.(check int) "bits cleared" 0 (Rounds.bits acc);
+      Alcotest.(check (list (pair string int))) "breakdown cleared" []
+        (Rounds.breakdown acc);
+      Alcotest.(check string) "open phase forgotten" "" (Rounds.phase_path acc);
+      Rounds.charge acc ~label:"y" ~rounds:1);
+  Alcotest.(check (list (pair string int))) "post-reset charge unprefixed"
+    [ ("y", 1) ]
+    (Rounds.breakdown acc)
+
+(* Regression: charge_vector once under-counted multi-coordinate exchanges by
+   charging entry_bits regardless of how many coordinates each vertex holds;
+   ~entries must multiply both the bits and the round cost. *)
+let test_rounds_charge_vector_entries () =
+  let acc = Rounds.create ~bandwidth:10 in
+  Rounds.charge_vector acc ~label:"v" ~entry_bits:4;
+  Alcotest.(check int) "one entry, one round" 1 (Rounds.rounds acc);
+  Alcotest.(check int) "one entry bits" 4 (Rounds.bits acc);
+  Rounds.reset acc;
+  Rounds.charge_vector ~entries:8 acc ~label:"v" ~entry_bits:4;
+  Alcotest.(check int) "entries multiply bits" 32 (Rounds.bits acc);
+  Alcotest.(check int) "rounds = ceil(32/10)" 4 (Rounds.rounds acc);
+  Alcotest.check_raises "entries >= 1"
+    (Invalid_argument "Rounds.charge_vector: entries must be >= 1") (fun () ->
+      Rounds.charge_vector ~entries:0 acc ~label:"v" ~entry_bits:1)
+
+let test_rounds_tree () =
+  let acc = Rounds.create ~bandwidth:10 in
+  Rounds.with_phase acc "solve" (fun () ->
+      Rounds.charge acc ~label:"setup" ~rounds:2;
+      Rounds.with_phase acc "inner" (fun () ->
+          Rounds.charge_broadcast acc ~label:"x" ~bits:25));
+  match Rounds.tree acc with
+  | [ { Rounds.label = "solve"; t_rounds = 5; t_bits = 25;
+        children =
+          [ { Rounds.label = "setup"; t_rounds = 2; _ };
+            { Rounds.label = "inner"; t_rounds = 3; children = [ _ ]; _ } ] } ] ->
+      ()
+  | forest ->
+      Alcotest.fail
+        (Format.asprintf "unexpected tree shape (%d roots)" (List.length forest))
+
 (* ------------------------------------------------------------------ *)
 (* Engine: a BFS vertex program                                        *)
 
@@ -260,6 +328,12 @@ let suites =
         Alcotest.test_case "one round minimum" `Quick test_rounds_small_message_one_round;
         Alcotest.test_case "reset/checkpoint" `Quick test_rounds_reset_checkpoint;
         Alcotest.test_case "rejects bad bandwidth" `Quick test_rounds_rejects_bad;
+        Alcotest.test_case "breakdown sums + order" `Quick test_rounds_breakdown_sums;
+        Alcotest.test_case "reset clears hierarchy" `Quick
+          test_rounds_reset_clears_hierarchy;
+        Alcotest.test_case "charge_vector entries" `Quick
+          test_rounds_charge_vector_entries;
+        Alcotest.test_case "phase tree" `Quick test_rounds_tree;
       ] );
     ( "net.engine",
       [
