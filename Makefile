@@ -1,6 +1,6 @@
 CLI := ./_build/default/bin/lbcc_cli.exe
 
-.PHONY: all build test smoke bench-smoke ci clean
+.PHONY: all build test smoke bench-smoke perf ci clean
 
 all: build
 
@@ -25,15 +25,28 @@ smoke: build
 	$(CLI) sparsify --vertices 48 --max-retries 2 | grep -q 'verdict=ok'
 	@echo "smoke: OK"
 
-# Benchmark smoke: two fast experiments emitting machine-readable reports;
-# each BENCH_<EXP>.json must parse and validate against the lbcc-bench/1
-# schema (the harness itself exits nonzero if any claim leaves its bound).
+# Benchmark smoke: the whole unit suite re-run on a 2-domain worker pool
+# (any sequential/parallel divergence fails the determinism suite), then
+# fast experiments plus the multicore PERF profile emitting machine-readable
+# reports; each BENCH_<EXP>.json must parse and validate against the
+# lbcc-bench/1 schema (the harness itself exits nonzero if any claim leaves
+# its bound — for PERF that includes outputs differing across pool sizes).
 bench-smoke: build
+	LBCC_DOMAINS=2 dune runtest --force
 	rm -rf _bench_reports && mkdir -p _bench_reports
-	dune exec bench/main.exe -- E1 E5 --json --out _bench_reports
+	dune exec bench/main.exe -- E1 E5 PERF --json --out _bench_reports
 	$(CLI) report --validate _bench_reports/BENCH_E1.json \
-	  _bench_reports/BENCH_E5.json
+	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_PERF.json
 	@echo "bench-smoke: OK"
+
+# Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4
+# worker domains (outputs must stay bit-identical) and measures the
+# allocation profile of the Laplacian solve loop; writes BENCH_PERF.json.
+perf: build
+	rm -rf _bench_reports && mkdir -p _bench_reports
+	dune exec bench/main.exe -- PERF --json --out _bench_reports
+	$(CLI) report --validate _bench_reports/BENCH_PERF.json
+	@echo "perf: OK"
 
 ci: build test smoke
 

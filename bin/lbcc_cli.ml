@@ -32,6 +32,29 @@ module Report = Lbcc_obs.Report
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the multicore execution layer (default: \
+           $(b,LBCC_DOMAINS) or the runtime's recommendation).  Results are \
+           identical at every value; only wall-clock changes.")
+
+(* Evaluated before the command body (Cmdliner applies terms left to
+   right), so the pool is resized before any work runs. *)
+let with_domains term =
+  let apply = function
+    | Some d when d < 1 -> Error (`Msg "--domains must be >= 1")
+    | Some d ->
+        Pool.set_default_domains d;
+        Ok ()
+    | None -> Ok ()
+  in
+  let domains_term = Term.term_result Term.(const apply $ domains_arg) in
+  Term.(const (fun () r -> r) $ domains_term $ term)
+
 let n_arg =
   Arg.(value & opt int 64 & info [ "n"; "vertices" ] ~docv:"N" ~doc:"Number of vertices.")
 
@@ -227,9 +250,10 @@ let sparsify_cmd =
   in
   Cmd.v
     (Cmd.info "sparsify" ~doc:"Spectral sparsification (Theorem 1.2)")
-    Term.(
-      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
-      $ max_retries_arg $ trace_arg $ json_arg)
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
+         $ max_retries_arg $ trace_arg $ json_arg))
 
 let solve_cmd =
   let eps = Arg.(value & opt float 1e-8 & info [ "eps" ] ~doc:"Solution accuracy.") in
@@ -259,9 +283,10 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Laplacian solving (Theorem 1.3)")
-    Term.(
-      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps
-      $ max_retries_arg $ trace_arg $ json_arg)
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps
+         $ max_retries_arg $ trace_arg $ json_arg))
 
 let spanner_cmd =
   let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
@@ -284,7 +309,8 @@ let spanner_cmd =
   in
   Cmd.v
     (Cmd.info "spanner" ~doc:"Baswana-Sen spanner with probabilistic edges (Section 3.1)")
-    Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ k $ edge_prob)
+    (with_domains
+       Term.(const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ k $ edge_prob))
 
 let flow_cmd =
   let density = Arg.(value & opt float 0.3 & info [ "density" ] ~doc:"Arc density.") in
@@ -347,9 +373,10 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Exact minimum-cost maximum flow (Theorem 1.1)")
-    Term.(
-      const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
-      $ output_dot $ max_retries_arg $ trace_arg $ json_arg)
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
+         $ output_dot $ max_retries_arg $ trace_arg $ json_arg))
 
 let dist_cmd =
   let algo_arg =
@@ -463,9 +490,10 @@ let dist_cmd =
        ~doc:
          "Distributed protocols (BFS / SSSP / leader election) under fault \
           injection, with reliable-broadcast recovery")
-    Term.(
-      const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ algo_arg
-      $ model_arg $ source_arg $ patience_arg $ raw_arg $ faults_term)
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ algo_arg
+         $ model_arg $ source_arg $ patience_arg $ raw_arg $ faults_term))
 
 let gen_cmd =
   let kind =

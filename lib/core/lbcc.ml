@@ -9,6 +9,8 @@ module Metrics = Lbcc_obs.Metrics
 
 let version = "1.0.0"
 
+let domains () = Pool.size (Pool.default ())
+
 type rounds_report = {
   total : int;
   bits : int;

@@ -96,3 +96,9 @@ val effective_resistance : ?seed:int -> Graph.t -> s:int -> t:int -> float
     the classical first application of the Laplacian paradigm. *)
 
 val version : string
+
+val domains : unit -> int
+(** Lanes of the process-wide worker pool the simulator and linalg kernels
+    run on — [LBCC_DOMAINS], the [--domains] flag, or the runtime's
+    recommendation.  Purely a wall-clock knob: every result is bit-identical
+    at every value. *)

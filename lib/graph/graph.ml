@@ -108,15 +108,20 @@ let incidence g =
 
 let weight_vector g = Array.map (fun e -> e.w) g.edges
 
-let apply_laplacian g x =
+let apply_laplacian_into g x y =
   if Vec.dim x <> g.n then invalid_arg "Graph.apply_laplacian: dimension mismatch";
-  let y = Vec.zeros g.n in
+  if Vec.dim y <> g.n then invalid_arg "Graph.apply_laplacian: dimension mismatch";
+  Array.fill y 0 g.n 0.0;
   Array.iter
     (fun e ->
       let d = e.w *. (x.(e.u) -. x.(e.v)) in
       y.(e.u) <- y.(e.u) +. d;
       y.(e.v) <- y.(e.v) -. d)
-    g.edges;
+    g.edges
+
+let apply_laplacian g x =
+  let y = Vec.zeros g.n in
+  apply_laplacian_into g x y;
   y
 
 let components g =

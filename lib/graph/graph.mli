@@ -68,6 +68,10 @@ val weight_vector : t -> Lbcc_linalg.Vec.t
 val apply_laplacian : t -> Lbcc_linalg.Vec.t -> Lbcc_linalg.Vec.t
 (** Matrix-free [L x] in [O(m)]. *)
 
+val apply_laplacian_into : t -> Lbcc_linalg.Vec.t -> Lbcc_linalg.Vec.t -> unit
+(** [apply_laplacian_into g x y] writes [L x] into [y] without allocating.
+    [y] must not alias [x]. *)
+
 val components : t -> int array * int
 (** [(comp, count)] where [comp.(v)] is the component index of [v]. *)
 

@@ -11,6 +11,8 @@ module Graph = Lbcc_graph.Graph
 type block = {
   vertices : int array; (* component members; vertices.(0) is pinned *)
   factorization : Dense.factorization option; (* None for singletons *)
+  rhs_buf : float array; (* scratch, length k-1: reduced right-hand side *)
+  sol_buf : float array; (* scratch, length k-1: reduced solution *)
 }
 
 type t = { n : int; blocks : block list }
@@ -29,39 +31,61 @@ let factor g =
     |> List.map (fun vs ->
            let vertices = Array.of_list vs in
            let k = Array.length vertices in
-           if k = 1 then { vertices; factorization = None }
+           let rhs_buf = Array.make (k - 1) 0.0
+           and sol_buf = Array.make (k - 1) 0.0 in
+           if k = 1 then { vertices; factorization = None; rhs_buf; sol_buf }
            else begin
              let reduced =
                Dense.init (k - 1) (k - 1) (fun i j ->
                    Dense.get l vertices.(i + 1) vertices.(j + 1))
              in
-             { vertices; factorization = Some (Dense.factorize reduced) }
+             {
+               vertices;
+               factorization = Some (Dense.factorize reduced);
+               rhs_buf;
+               sol_buf;
+             }
            end)
   in
   { n; blocks }
 
-let solve t b =
+let solve_into t b x =
   if Vec.dim b <> t.n then invalid_arg "Exact.solve: dimension mismatch";
+  if Vec.dim x <> t.n then invalid_arg "Exact.solve: solution dimension mismatch";
   let scale = Float.max 1.0 (Vec.norm_inf b) in
-  let x = Array.make t.n 0.0 in
+  Array.fill x 0 t.n 0.0;
   List.iter
     (fun block ->
       let k = Array.length block.vertices in
-      let total = Array.fold_left (fun acc v -> acc +. b.(v)) 0.0 block.vertices in
+      let acc = ref 0.0 in
+      for i = 0 to k - 1 do
+        acc := !acc +. b.(block.vertices.(i))
+      done;
+      let total = !acc in
       if Float.abs total > 1e-6 *. scale *. float_of_int k then
         invalid_arg "Exact.solve: right-hand side must have zero sum per component";
       match block.factorization with
       | None -> ()
       | Some f ->
-          let rhs = Array.init (k - 1) (fun i -> b.(block.vertices.(i + 1))) in
-          let sol = Dense.solve_factored f rhs in
+          for i = 0 to k - 2 do
+            block.rhs_buf.(i) <- b.(block.vertices.(i + 1))
+          done;
+          Dense.solve_factored_into f block.rhs_buf block.sol_buf;
           (* Mean-center within the component. *)
-          let mean = Array.fold_left ( +. ) 0.0 sol /. float_of_int k in
+          let s = ref 0.0 in
+          for i = 0 to k - 2 do
+            s := !s +. block.sol_buf.(i)
+          done;
+          let mean = !s /. float_of_int k in
           x.(block.vertices.(0)) <- -.mean;
           for i = 0 to k - 2 do
-            x.(block.vertices.(i + 1)) <- sol.(i) -. mean
+            x.(block.vertices.(i + 1)) <- block.sol_buf.(i) -. mean
           done)
-    t.blocks;
+    t.blocks
+
+let solve t b =
+  let x = Array.make t.n 0.0 in
+  solve_into t b x;
   x
 
 let solve_graph g b = solve (factor g) b

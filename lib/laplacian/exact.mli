@@ -23,6 +23,11 @@ val solve : t -> Vec.t -> Vec.t
     @raise Invalid_argument if [b] has non-negligible sum on some
     component. *)
 
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into t b x] writes the solution into [x] using scratch buffers
+    held in [t]: allocation-free, but not reentrant — do not share one
+    factorization across concurrent solves.  [x] must not alias [b]. *)
+
 val solve_graph : Graph.t -> Vec.t -> Vec.t
 (** One-shot [factor] + [solve]. *)
 

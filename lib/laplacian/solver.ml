@@ -93,13 +93,24 @@ let solve ?accountant t ~b ~eps =
     Rounds.charge_vector acc ~label:"laplacian-matvec" ~entry_bits:(Bits.float_bits ());
     Graph.apply_laplacian t.graph x
   in
+  let matvec_into x y =
+    Rounds.charge_vector acc ~label:"laplacian-matvec" ~entry_bits:(Bits.float_bits ());
+    Graph.apply_laplacian_into t.graph x y
+  in
+  (* B = lambda_max * L_H; solving B z = r needs zero-sum r: residuals of
+     Laplacian systems with zero-sum b stay zero-sum. *)
   let solve_b r =
-    (* B = lambda_max * L_H; solving B z = r needs zero-sum r: residuals of
-       Laplacian systems with zero-sum b stay zero-sum. *)
     Vec.scale (1.0 /. t.lambda_max) (Exact.solve t.h_factor (Vec.mean_center r))
   in
+  let centered = Vec.zeros (Graph.n t.graph) in
+  let solve_b_into r z =
+    Vec.mean_center_into r centered;
+    Exact.solve_into t.h_factor centered z;
+    Vec.scale_into (1.0 /. t.lambda_max) z z
+  in
   let result =
-    Chebyshev.solve ~matvec ~solve_b ~kappa:t.kappa ~eps ~b ()
+    Chebyshev.solve ~matvec_into ~solve_b_into ~matvec ~solve_b ~kappa:t.kappa
+      ~eps ~b ()
   in
   {
     solution = result.Chebyshev.solution;

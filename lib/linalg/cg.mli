@@ -1,7 +1,14 @@
 (** Conjugate gradient over an abstract matvec operator.
 
     Used internally by simulated vertices (which have unlimited local
-    computation) and as a reference solver in tests. *)
+    computation) and as a reference solver in tests.
+
+    The iteration runs over preallocated workspaces.  Callers on a hot path
+    can supply [?matvec_into] / [?precond_into] (write the operator result
+    into the given destination) to make each iteration allocation-free; the
+    allocating [matvec] / [precond] are used otherwise.  Either way the
+    arithmetic sequence — hence every iterate, iteration count and residual
+    — is identical. *)
 
 type result = {
   solution : Vec.t;
@@ -14,6 +21,7 @@ val solve :
   ?x0:Vec.t ->
   ?max_iter:int ->
   ?tol:float ->
+  ?matvec_into:(Vec.t -> Vec.t -> unit) ->
   matvec:(Vec.t -> Vec.t) ->
   b:Vec.t ->
   unit ->
@@ -26,6 +34,8 @@ val solve_preconditioned :
   ?x0:Vec.t ->
   ?max_iter:int ->
   ?tol:float ->
+  ?matvec_into:(Vec.t -> Vec.t -> unit) ->
+  ?precond_into:(Vec.t -> Vec.t -> unit) ->
   matvec:(Vec.t -> Vec.t) ->
   precond:(Vec.t -> Vec.t) ->
   b:Vec.t ->

@@ -5,7 +5,13 @@
     constant number of vector operations; [O(sqrt(kappa) log(1/eps))]
     iterations produce [y] with [||x - y||_A <= eps ||x||_A] for some [x]
     with [A x = b].  This is the engine of the Laplacian solver:
-    [A = L_G] and [B = (1 + 1/2) L_H] for a sparsifier [H] (Corollary 2.4). *)
+    [A = L_G] and [B = (1 + 1/2) L_H] for a sparsifier [H] (Corollary 2.4).
+
+    The recurrence runs over preallocated workspaces; supplying
+    [?matvec_into] / [?solve_b_into] (write the operator result into the
+    given destination) makes each iteration allocation-free.  The
+    arithmetic sequence — hence every iterate and residual — is identical
+    either way. *)
 
 type result = {
   solution : Vec.t;
@@ -19,6 +25,8 @@ val iterations_bound : kappa:float -> eps:float -> int
 val solve :
   ?x0:Vec.t ->
   ?max_iter:int ->
+  ?matvec_into:(Vec.t -> Vec.t -> unit) ->
+  ?solve_b_into:(Vec.t -> Vec.t -> unit) ->
   matvec:(Vec.t -> Vec.t) ->
   solve_b:(Vec.t -> Vec.t) ->
   kappa:float ->
@@ -34,6 +42,8 @@ val solve :
 val solve_adaptive :
   ?x0:Vec.t ->
   ?max_iter:int ->
+  ?matvec_into:(Vec.t -> Vec.t -> unit) ->
+  ?solve_b_into:(Vec.t -> Vec.t -> unit) ->
   matvec:(Vec.t -> Vec.t) ->
   solve_b:(Vec.t -> Vec.t) ->
   kappa:float ->

@@ -56,28 +56,48 @@ let sub x y =
 
 let scale s m = { m with a = Array.map (fun v -> s *. v) m.a }
 
+(* Output rows are independent in matmul/matvec and the update rows of an
+   LU pivot step are independent too, so all three parallelize over row
+   chunks with bit-identical results (each row's arithmetic sequence is
+   unchanged).  Small problems stay sequential. *)
+let parallel_rows ~n ~work_per_row body =
+  if n >= 64 && n * work_per_row >= 1 lsl 14 then
+    Lbcc_util.Pool.parallel_for (Lbcc_util.Pool.default ()) ~n body
+  else body 0 n
+
 let matmul x y =
   if x.c <> y.r then invalid_arg "Dense.matmul: inner dimension mismatch";
   let z = create x.r y.c in
-  for i = 0 to x.r - 1 do
-    for k = 0 to x.c - 1 do
-      let xik = get x i k in
-      if xik <> 0.0 then
-        for j = 0 to y.c - 1 do
-          add_entry z i j (xik *. get y k j)
+  parallel_rows ~n:x.r ~work_per_row:(x.c * y.c) (fun lo hi ->
+      for i = lo to hi - 1 do
+        for k = 0 to x.c - 1 do
+          let xik = get x i k in
+          if xik <> 0.0 then
+            for j = 0 to y.c - 1 do
+              add_entry z i j (xik *. get y k j)
+            done
         done
-    done
-  done;
+      done);
   z
+
+let matvec_into m x y =
+  if m.c <> Array.length x then invalid_arg "Dense.matvec_into: dimension mismatch";
+  if m.r <> Array.length y then invalid_arg "Dense.matvec_into: dimension mismatch";
+  parallel_rows ~n:m.r ~work_per_row:m.c (fun lo hi ->
+      for i = lo to hi - 1 do
+        let acc = ref 0.0 in
+        let base = i * m.c in
+        for j = 0 to m.c - 1 do
+          acc := !acc +. (m.a.(base + j) *. x.(j))
+        done;
+        y.(i) <- !acc
+      done)
 
 let matvec m x =
   if m.c <> Array.length x then invalid_arg "Dense.matvec: dimension mismatch";
-  Array.init m.r (fun i ->
-      let acc = ref 0.0 in
-      for j = 0 to m.c - 1 do
-        acc := !acc +. (get m i j *. x.(j))
-      done;
-      !acc)
+  let y = Array.make m.r 0.0 in
+  matvec_into m x y;
+  y
 
 let matvec_t m x =
   if m.r <> Array.length x then invalid_arg "Dense.matvec_t: dimension mismatch";
@@ -150,31 +170,51 @@ let lu_factor m =
       perm.(!pivot) <- tmp
     end;
     let pkk = get lu k k in
-    for i = k + 1 to n - 1 do
-      let factor = get lu i k /. pkk in
-      set lu i k factor;
-      for j = k + 1 to n - 1 do
-        add_entry lu i j (-.factor *. get lu k j)
-      done
-    done
+    (* Rows below the pivot update independently (each reads only pivot row
+       [k] and writes only itself). *)
+    parallel_rows ~n:(n - 1 - k) ~work_per_row:(n - k) (fun lo hi ->
+        for t = lo to hi - 1 do
+          let i = k + 1 + t in
+          let factor = get lu i k /. pkk in
+          set lu i k factor;
+          for j = k + 1 to n - 1 do
+            add_entry lu i j (-.factor *. get lu k j)
+          done
+        done)
   done;
   (lu, perm)
 
-let lu_solve (lu, perm) b =
+(* Flat-array accesses keep the triangular-solve inner loops free of boxed
+   float temporaries — this runs once per Chebyshev iteration, so it
+   dominates the solver's allocation profile. *)
+let lu_solve_into (lu, perm) b x =
   let n = rows lu in
   if Array.length b <> n then invalid_arg "Dense.solve: rhs dimension mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length x <> n then invalid_arg "Dense.solve: solution dimension mismatch";
+  let a = lu.a and c = lu.c in
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   for i = 1 to n - 1 do
+    let base = i * c in
+    let acc = ref x.(i) in
     for j = 0 to i - 1 do
-      x.(i) <- x.(i) -. (get lu i j *. x.(j))
-    done
+      acc := !acc -. (a.(base + j) *. x.(j))
+    done;
+    x.(i) <- !acc
   done;
   for i = n - 1 downto 0 do
+    let base = i * c in
+    let acc = ref x.(i) in
     for j = i + 1 to n - 1 do
-      x.(i) <- x.(i) -. (get lu i j *. x.(j))
+      acc := !acc -. (a.(base + j) *. x.(j))
     done;
-    x.(i) <- x.(i) /. get lu i i
-  done;
+    x.(i) <- !acc /. a.(base + i)
+  done
+
+let lu_solve f b =
+  let x = Array.make (rows (fst f)) 0.0 in
+  lu_solve_into f b x;
   x
 
 let solve m b = lu_solve (lu_factor m) b
@@ -183,6 +223,7 @@ type factorization = t * int array
 
 let factorize = lu_factor
 let solve_factored = lu_solve
+let solve_factored_into = lu_solve_into
 
 let solve_many m bs =
   let f = lu_factor m in

@@ -27,7 +27,16 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 val matmul : t -> t -> t
+(** Row-chunk parallel on the default pool for large operands; per-row
+    arithmetic order is fixed, so results are identical at any pool size
+    (as for {!matvec} and {!factorize}). *)
+
 val matvec : t -> Vec.t -> Vec.t
+
+val matvec_into : t -> Vec.t -> Vec.t -> unit
+(** [matvec_into m x y] writes [m x] into [y] without allocating.  [y] must
+    not alias [x]. *)
+
 val matvec_t : t -> Vec.t -> Vec.t
 (** [matvec_t a x] is [a^T x]. *)
 
@@ -54,6 +63,11 @@ val factorize : t -> factorization
 (** @raise Failure if the matrix is (numerically) singular. *)
 
 val solve_factored : factorization -> Vec.t -> Vec.t
+
+val solve_factored_into : factorization -> Vec.t -> Vec.t -> unit
+(** [solve_factored_into f b x] writes the solution into [x] without
+    allocating.  [x] must not alias [b] (the permutation gather reads [b]
+    while writing [x]). *)
 
 val inverse : t -> t
 

@@ -88,33 +88,134 @@ let to_dense m =
   iter m (fun i j v -> Dense.add_entry d i j v);
   d
 
+(* Rows are independent, so matvec parallelizes over row chunks with
+   bit-identical results (each row's accumulation order is unchanged).
+   Small matrices stay sequential — a dispatch costs more than the work. *)
+let parallel_threshold_nnz = 1 lsl 14
+let parallel_threshold_rows = 256
+
+let matvec_into m x y =
+  if Array.length x <> m.c then invalid_arg "Sparse.matvec_into: dimension mismatch";
+  if Array.length y <> m.r then invalid_arg "Sparse.matvec_into: dimension mismatch";
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let acc = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+      done;
+      y.(i) <- !acc
+    done
+  in
+  if m.r >= parallel_threshold_rows && nnz m >= parallel_threshold_nnz then
+    Lbcc_util.Pool.parallel_for (Lbcc_util.Pool.default ()) ~n:m.r rows
+  else rows 0 m.r
+
 let matvec m x =
   if Array.length x <> m.c then invalid_arg "Sparse.matvec: dimension mismatch";
-  Array.init m.r (fun i ->
-      let acc = ref 0.0 in
-      iter_row m i (fun j v -> acc := !acc +. (v *. x.(j)));
-      !acc)
+  let y = Array.make m.r 0.0 in
+  matvec_into m x y;
+  y
+
+(* Column scatter: rows race on [y], so this one stays sequential. *)
+let matvec_t_into m x y =
+  if Array.length x <> m.r then invalid_arg "Sparse.matvec_t_into: dimension mismatch";
+  if Array.length y <> m.c then invalid_arg "Sparse.matvec_t_into: dimension mismatch";
+  Array.fill y 0 (Array.length y) 0.0;
+  for i = 0 to m.r - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then iter_row m i (fun j v -> y.(j) <- y.(j) +. (v *. xi))
+  done
 
 let matvec_t m x =
   if Array.length x <> m.r then invalid_arg "Sparse.matvec_t: dimension mismatch";
   let y = Array.make m.c 0.0 in
-  for i = 0 to m.r - 1 do
-    let xi = x.(i) in
-    if xi <> 0.0 then iter_row m i (fun j v -> y.(j) <- y.(j) +. (v *. xi))
-  done;
+  matvec_t_into m x y;
   y
 
+(* Counting-sort transpose: one pass counts entries per output row, a second
+   places them.  Scanning input rows in ascending order keeps each output
+   row sorted; explicit zeros are dropped exactly as [of_triplets] would. *)
 let transpose m =
-  let triplets = fold m ~init:[] ~f:(fun acc i j v -> (j, i, v) :: acc) in
-  of_triplets ~rows:m.c ~cols:m.r triplets
+  let row_ptr = Array.make (m.c + 1) 0 in
+  for k = 0 to Array.length m.values - 1 do
+    if m.values.(k) <> 0.0 then
+      row_ptr.(m.col_idx.(k) + 1) <- row_ptr.(m.col_idx.(k) + 1) + 1
+  done;
+  for j = 1 to m.c do
+    row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+  done;
+  let out = row_ptr.(m.c) in
+  let col_idx = Array.make out 0 and values = Array.make out 0.0 in
+  let fill = Array.sub row_ptr 0 m.c in
+  for i = 0 to m.r - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let v = m.values.(k) in
+      if v <> 0.0 then begin
+        let j = m.col_idx.(k) in
+        let pos = fill.(j) in
+        fill.(j) <- pos + 1;
+        col_idx.(pos) <- i;
+        values.(pos) <- v
+      end
+    done
+  done;
+  { r = m.c; c = m.r; row_ptr; col_idx; values }
 
 let scale s m = { m with values = Array.map (fun v -> s *. v) m.values }
 
+(* Linear two-pointer merge over the sorted rows of both operands.  Entries
+   summing (or standing alone as) exactly 0.0 are dropped, matching the
+   historical triplet round-trip; two-term IEEE addition is commutative, so
+   the sums are bitwise those of the old path. *)
 let add a b =
   if a.r <> b.r || a.c <> b.c then invalid_arg "Sparse.add: dimension mismatch";
-  let ta = fold a ~init:[] ~f:(fun acc i j v -> (i, j, v) :: acc) in
-  let tb = fold b ~init:ta ~f:(fun acc i j v -> (i, j, v) :: acc) in
-  of_triplets ~rows:a.r ~cols:a.c tb
+  let cap = nnz a + nnz b in
+  let col_idx = Array.make cap 0 and values = Array.make cap 0.0 in
+  let row_ptr = Array.make (a.r + 1) 0 in
+  let k = ref 0 in
+  let push j v =
+    if v <> 0.0 then begin
+      col_idx.(!k) <- j;
+      values.(!k) <- v;
+      incr k
+    end
+  in
+  for i = 0 to a.r - 1 do
+    let ka = ref a.row_ptr.(i) and kb = ref b.row_ptr.(i) in
+    let ea = a.row_ptr.(i + 1) and eb = b.row_ptr.(i + 1) in
+    while !ka < ea && !kb < eb do
+      let ja = a.col_idx.(!ka) and jb = b.col_idx.(!kb) in
+      if ja < jb then begin
+        push ja a.values.(!ka);
+        incr ka
+      end
+      else if jb < ja then begin
+        push jb b.values.(!kb);
+        incr kb
+      end
+      else begin
+        push ja (a.values.(!ka) +. b.values.(!kb));
+        incr ka;
+        incr kb
+      end
+    done;
+    while !ka < ea do
+      push a.col_idx.(!ka) a.values.(!ka);
+      incr ka
+    done;
+    while !kb < eb do
+      push b.col_idx.(!kb) b.values.(!kb);
+      incr kb
+    done;
+    row_ptr.(i + 1) <- !k
+  done;
+  {
+    r = a.r;
+    c = a.c;
+    row_ptr;
+    col_idx = Array.sub col_idx 0 !k;
+    values = Array.sub values 0 !k;
+  }
 
 let row_scale d m =
   if Array.length d <> m.r then invalid_arg "Sparse.row_scale: dimension mismatch";

@@ -17,12 +17,29 @@ val cols : t -> int
 val nnz : t -> int
 
 val matvec : t -> Vec.t -> Vec.t
+(** Row-chunk parallel on the default pool for large matrices; per-row
+    accumulation order is fixed, so results are identical at any pool
+    size. *)
+
 val matvec_t : t -> Vec.t -> Vec.t
 (** [matvec_t a x = a^T x] without materializing the transpose. *)
 
+val matvec_into : t -> Vec.t -> Vec.t -> unit
+(** [matvec_into a x y] writes [a x] into [y] without allocating.  [y] must
+    not alias [x].  Same parallel row chunking as {!matvec}. *)
+
+val matvec_t_into : t -> Vec.t -> Vec.t -> unit
+(** [matvec_t_into a x y] writes [a^T x] into [y] without allocating.  [y]
+    must not alias [x]. *)
+
 val transpose : t -> t
+(** Linear-time counting sort (no triplet round-trip). *)
+
 val scale : float -> t -> t
+
 val add : t -> t -> t
+(** Linear two-pointer merge of the sorted rows; entries summing to exactly
+    [0.0] are dropped. *)
 
 val row_scale : Vec.t -> t -> t
 (** [row_scale d a] is [diag(d) * a]. *)

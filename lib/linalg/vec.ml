@@ -36,6 +36,66 @@ let axpy a x y =
     y.(i) <- (a *. x.(i)) +. y.(i)
   done
 
+(* In-place kernels: same elementwise arithmetic as their allocating
+   counterparts (identical rounding), writing into a caller-owned buffer.
+   Destinations may alias inputs. *)
+
+let blit x dst =
+  check_dims "blit" x dst;
+  Array.blit x 0 dst 0 (Array.length x)
+
+let add_into x y dst =
+  check_dims "add_into" x y;
+  check_dims "add_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- x.(i) +. y.(i)
+  done
+
+let sub_into x y dst =
+  check_dims "sub_into" x y;
+  check_dims "sub_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- x.(i) -. y.(i)
+  done
+
+let scale_into a x dst =
+  check_dims "scale_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- a *. x.(i)
+  done
+
+let mul_into x y dst =
+  check_dims "mul_into" x y;
+  check_dims "mul_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- x.(i) *. y.(i)
+  done
+
+let fill_zero dst = Array.fill dst 0 (Array.length dst) 0.0
+
+(* dst <- a*dst + b*z, the Chebyshev direction update.  Rounding matches
+   add (scale a dst) (scale b z). *)
+let axpby_into a b z dst =
+  check_dims "axpby_into" z dst;
+  for i = 0 to Array.length z - 1 do
+    dst.(i) <- (a *. dst.(i)) +. (b *. z.(i))
+  done
+
+let mean_center_into x dst =
+  check_dims "mean_center_into" x dst;
+  let n = Array.length x in
+  if n > 0 then begin
+    (* Same left-to-right summation as [sum], as an allocation-free loop. *)
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. x.(i)
+    done;
+    let m = !s /. float_of_int n in
+    for i = 0 to n - 1 do
+      dst.(i) <- x.(i) -. m
+    done
+  end
+
 let dot x y =
   check_dims "dot" x y;
   let acc = ref 0.0 in

@@ -31,6 +31,36 @@ val recip : t -> t
 val axpy : float -> t -> t -> unit
 (** [axpy a x y] performs [y <- a*x + y] in place. *)
 
+(** {2 In-place kernels}
+
+    Allocation-free variants writing into a caller-owned buffer with the
+    same elementwise arithmetic (hence identical rounding) as their
+    allocating counterparts.  Destinations may alias inputs. *)
+
+val blit : t -> t -> unit
+(** [blit x dst] copies [x] into [dst]. *)
+
+val add_into : t -> t -> t -> unit
+(** [add_into x y dst] performs [dst <- x + y]. *)
+
+val sub_into : t -> t -> t -> unit
+(** [sub_into x y dst] performs [dst <- x - y]. *)
+
+val scale_into : float -> t -> t -> unit
+(** [scale_into a x dst] performs [dst <- a*x]. *)
+
+val mul_into : t -> t -> t -> unit
+(** [mul_into x y dst] performs [dst <- x .* y] coordinate-wise. *)
+
+val axpby_into : float -> float -> t -> t -> unit
+(** [axpby_into a b z d] performs [d <- a*d + b*z], rounding exactly as
+    [add (scale a d) (scale b z)]. *)
+
+val mean_center_into : t -> t -> unit
+(** [mean_center_into x dst] writes the mean-centered [x] into [dst]. *)
+
+val fill_zero : t -> unit
+
 val dot : t -> t -> float
 val norm2 : t -> float
 val norm_inf : t -> float

@@ -1,4 +1,5 @@
 module Graph = Lbcc_graph.Graph
+module Pool = Lbcc_util.Pool
 
 type 'msg inbox = (int * 'msg) list
 
@@ -45,45 +46,108 @@ let finish ~label ~on_timeout ~live ~supersteps ~rounds ~messages_sent
   ( states,
     { supersteps; rounds; messages_sent; total_bits; converged } )
 
-let run ?accountant ?tracer ?(label = "engine") ?(max_supersteps = 1_000_000)
-    ?(on_timeout = `Truncate) ?faults ~model ~graph ~size_bits ~init ~step () =
+(* Vertices are stepped in parallel chunks; a chunk touches only the state,
+   outgoing slot and live flag of its own vertices, so any pool size (and
+   any chunk schedule) computes the same result.  Keep the chunks coarse:
+   a superstep of a small protocol is far cheaper than a dispatch. *)
+let step_chunk n = Stdlib.max 16 ((n + 63) / 64)
+
+let run ?pool ?accountant ?tracer ?(label = "engine")
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults ~model
+    ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Broadcast -> ()
   | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
   Lbcc_obs.Trace.span tracer label @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let faults = active_faults faults in
   let n = Graph.n graph in
-  let neighbors =
+  (* Clique receivers are implicit (no O(n^2) adjacency materialization);
+     Input_graph keeps two int-array views: ascending sender order for the
+     inbox gather, and the graph's own adjacency order for replaying the
+     fault plan exactly as the historical delivery loop consulted it. *)
+  let gather_adj, replay_adj =
     match model.Model.topology with
+    | Model.Clique -> (None, None)
     | Model.Input_graph ->
-        Array.init n (fun v -> List.map fst (Graph.neighbors graph v))
-    | Model.Clique ->
-        Array.init n (fun v -> List.filter (fun u -> u <> v) (List.init n Fun.id))
+        let original =
+          Array.init n (fun v ->
+              Array.of_list (List.map fst (Graph.neighbors graph v)))
+        in
+        let sorted =
+          Array.map
+            (fun a ->
+              let s = Array.copy a in
+              Array.sort Stdlib.compare s;
+              s)
+            original
+        in
+        (Some sorted, if Option.is_none faults then None else Some original)
   in
   let states = Array.init n init in
   let live = Array.make n true in
-  let inboxes = Array.make n [] in
+  (* Messages broadcast in superstep [s], consumed by the gather in [s+1].
+     [overrides] holds the fault plan's verdicts for those messages —
+     only entries with a copy count <> 1 — keyed (src, dst). *)
+  let prev_outgoing = ref (Array.make n None) in
+  let overrides : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let supersteps = ref 0 and rounds = ref 0 in
   let messages_sent = ref 0 and total_bits = ref 0 in
   let bandwidth = Model.bandwidth ~n in
+  let chunk = step_chunk n in
   let any_live () = Array.exists Fun.id live in
+  let copies_of ~src ~dst =
+    if Option.is_none faults then 1
+    else
+      match Hashtbl.find_opt overrides (src, dst) with
+      | Some c -> c
+      | None -> 1
+  in
+  (* Consing while walking senders in descending order yields the inbox in
+     ascending sender order with duplicated deliveries adjacent — exactly
+     the [List.rev] of the historical push-delivery loop, which appended
+     sender-by-sender with the outer loop ascending. *)
+  let gather prev v =
+    let inbox = ref [] in
+    let take u =
+      match prev.(u) with
+      | None -> ()
+      | Some msg ->
+          for _ = 1 to copies_of ~src:u ~dst:v do
+            inbox := (u, msg) :: !inbox
+          done
+    in
+    (match gather_adj with
+    | None ->
+        for u = n - 1 downto 0 do
+          if u <> v then take u
+        done
+    | Some adj ->
+        let a = adj.(v) in
+        for i = Array.length a - 1 downto 0 do
+          take a.(i)
+        done);
+    !inbox
+  in
   while any_live () && !supersteps < max_supersteps do
     incr supersteps;
-    apply_crashes faults live ~round:!supersteps;
+    let round = !supersteps in
+    apply_crashes faults live ~round;
     let outgoing = Array.make n None in
-    for v = 0 to n - 1 do
-      if live.(v) then begin
-        let inbox = List.rev inboxes.(v) in
-        inboxes.(v) <- [];
-        let state', msg, continue = step ~round:!supersteps ~vertex:v states.(v) inbox in
-        states.(v) <- state';
-        outgoing.(v) <- msg;
-        if not continue then live.(v) <- false
-      end
-    done;
-    (* Deliver and charge: the superstep costs the largest message.  The
-       broadcast is charged once per sender — a dropped delivery still
-       occupied the sender's slot on the shared channel. *)
+    let prev = !prev_outgoing in
+    Pool.parallel_for pool ~chunk ~n (fun lo hi ->
+        for v = lo to hi - 1 do
+          if live.(v) then begin
+            let inbox = gather prev v in
+            let state', msg, continue = step ~round ~vertex:v states.(v) inbox in
+            states.(v) <- state';
+            outgoing.(v) <- msg;
+            if not continue then live.(v) <- false
+          end
+        done);
+    (* Charge: the superstep costs the largest message.  The broadcast is
+       charged once per sender — a dropped delivery still occupied the
+       sender's slot on the shared channel. *)
     let max_bits = ref 0 in
     for v = 0 to n - 1 do
       match outgoing.(v) with
@@ -92,14 +156,32 @@ let run ?accountant ?tracer ?(label = "engine") ?(max_supersteps = 1_000_000)
           let bits = size_bits msg in
           incr messages_sent;
           total_bits := !total_bits + bits;
-          max_bits := Stdlib.max !max_bits bits;
-          List.iter
-            (fun u ->
-              for _ = 1 to deliveries faults ~round:!supersteps ~src:v ~dst:u do
-                inboxes.(u) <- (v, msg) :: inboxes.(u)
-              done)
-            neighbors.(v)
+          max_bits := Stdlib.max !max_bits bits
     done;
+    (* Replay the fault plan at send time, sender-major in the adjacency
+       order of the historical delivery loop, so stateful budgets
+       (adversarial drop quotas) burn in the identical query sequence.
+       The verdicts are consumed by the next superstep's gather. *)
+    (match faults with
+    | None -> ()
+    | Some f ->
+        Hashtbl.reset overrides;
+        let record ~src ~dst =
+          let c = Fault.copies f ~round ~src ~dst in
+          if c <> 1 then Hashtbl.replace overrides (src, dst) c
+        in
+        for v = 0 to n - 1 do
+          match outgoing.(v) with
+          | None -> ()
+          | Some _ -> (
+              match replay_adj with
+              | None ->
+                  for u = 0 to n - 1 do
+                    if u <> v then record ~src:v ~dst:u
+                  done
+              | Some adj -> Array.iter (fun u -> record ~src:v ~dst:u) adj.(v))
+        done);
+    prev_outgoing := outgoing;
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
     rounds := !rounds + cost;
     (match accountant with
@@ -118,7 +200,7 @@ type ('state, 'msg) unicast_step =
   'msg inbox ->
   'state * (int * 'msg) list * bool
 
-let run_unicast ?accountant ?tracer ?(label = "engine-unicast")
+let run_unicast ?pool ?accountant ?tracer ?(label = "engine-unicast")
     ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults ~model
     ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
@@ -126,22 +208,26 @@ let run_unicast ?accountant ?tracer ?(label = "engine-unicast")
   | Model.Broadcast ->
       invalid_arg "Engine.run_unicast: use run for broadcast disciplines");
   Lbcc_obs.Trace.span tracer label @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let faults = active_faults faults in
   let n = Graph.n graph in
-  let allowed =
+  (* Clique membership is an index check; only Input_graph needs tables. *)
+  let allowed_tbl =
     match model.Model.topology with
+    | Model.Clique -> None
     | Model.Input_graph ->
-        Array.init n (fun v ->
-            let tbl = Hashtbl.create 8 in
-            List.iter (fun (u, _) -> Hashtbl.replace tbl u ()) (Graph.neighbors graph v);
-            tbl)
-    | Model.Clique ->
-        Array.init n (fun v ->
-            let tbl = Hashtbl.create n in
-            for u = 0 to n - 1 do
-              if u <> v then Hashtbl.replace tbl u ()
-            done;
-            tbl)
+        Some
+          (Array.init n (fun v ->
+               let tbl = Hashtbl.create 8 in
+               List.iter
+                 (fun (u, _) -> Hashtbl.replace tbl u ())
+                 (Graph.neighbors graph v);
+               tbl))
+  in
+  let allowed v u =
+    match allowed_tbl with
+    | None -> u <> v && u >= 0 && u < n
+    | Some tbls -> Hashtbl.mem tbls.(v) u
   in
   let states = Array.init n init in
   let live = Array.make n true in
@@ -149,30 +235,36 @@ let run_unicast ?accountant ?tracer ?(label = "engine-unicast")
   let supersteps = ref 0 and rounds = ref 0 in
   let messages_sent = ref 0 and total_bits = ref 0 in
   let bandwidth = Model.bandwidth ~n in
+  let chunk = step_chunk n in
   let any_live () = Array.exists Fun.id live in
   while any_live () && !supersteps < max_supersteps do
     incr supersteps;
-    apply_crashes faults live ~round:!supersteps;
+    let round = !supersteps in
+    apply_crashes faults live ~round;
     let outgoing = Array.make n [] in
-    for v = 0 to n - 1 do
-      if live.(v) then begin
-        let inbox = List.rev inboxes.(v) in
-        inboxes.(v) <- [];
-        let state', msgs, continue = step ~round:!supersteps ~vertex:v states.(v) inbox in
-        states.(v) <- state';
-        let seen = Hashtbl.create 8 in
-        List.iter
-          (fun (u, _) ->
-            if not (Hashtbl.mem allowed.(v) u) then
-              invalid_arg "Engine.run_unicast: message to a non-neighbor";
-            if Hashtbl.mem seen u then
-              invalid_arg "Engine.run_unicast: two messages to one neighbor";
-            Hashtbl.replace seen u ())
-          msgs;
-        outgoing.(v) <- msgs;
-        if not continue then live.(v) <- false
-      end
-    done;
+    Pool.parallel_for pool ~chunk ~n (fun lo hi ->
+        for v = lo to hi - 1 do
+          if live.(v) then begin
+            let inbox = List.rev inboxes.(v) in
+            inboxes.(v) <- [];
+            let state', msgs, continue = step ~round ~vertex:v states.(v) inbox in
+            states.(v) <- state';
+            let seen = Hashtbl.create 8 in
+            List.iter
+              (fun (u, _) ->
+                if not (allowed v u) then
+                  invalid_arg "Engine.run_unicast: message to a non-neighbor";
+                if Hashtbl.mem seen u then
+                  invalid_arg "Engine.run_unicast: two messages to one neighbor";
+                Hashtbl.replace seen u ())
+              msgs;
+            outgoing.(v) <- msgs;
+            if not continue then live.(v) <- false
+          end
+        done);
+    (* Delivery stays sequential: per-edge messages land in receiver inboxes
+       in ascending sender order, and the fault plan is consulted in the
+       same sender-major sequence as ever. *)
     let max_bits = ref 0 in
     for v = 0 to n - 1 do
       List.iter
@@ -181,7 +273,7 @@ let run_unicast ?accountant ?tracer ?(label = "engine-unicast")
           incr messages_sent;
           total_bits := !total_bits + bits;
           max_bits := Stdlib.max !max_bits bits;
-          for _ = 1 to deliveries faults ~round:!supersteps ~src:v ~dst:u do
+          for _ = 1 to deliveries faults ~round ~src:v ~dst:u do
             inboxes.(u) <- (v, msg) :: inboxes.(u)
           done)
         outgoing.(v)

@@ -21,7 +21,20 @@
     The heavier algorithms of this repository (spanner, sparsifier) use
     bespoke superstep drivers for clarity; this engine backs the simple
     vertex programs (BFS baseline, leader election, aggregation) and the unit
-    tests of the charging rules. *)
+    tests of the charging rules.
+
+    {2 Parallel execution}
+
+    The per-vertex step phase runs on a {!Lbcc_util.Pool} (the shared
+    default pool unless [?pool] is given), chunked over vertex ranges.
+    Results are bit-identical at every pool size: each vertex assembles its
+    own inbox from the previous superstep's [outgoing] array in ascending
+    sender order (reproducing the historical push-delivery order exactly),
+    fault coins are flipped in a sequential phase that replays the
+    historical sender-major query sequence, and a chunk writes only the
+    state, message slot and live flag of its own vertices.  Step functions
+    must therefore be pure per vertex — they may freely read shared
+    immutable data but must not mutate state shared across vertices. *)
 
 type 'msg inbox = (int * 'msg) list
 (** [(sender, message)] pairs, ascending by sender.  Under a fault model a
@@ -52,6 +65,7 @@ exception Timeout of { label : string; supersteps : int }
 type on_timeout = [ `Truncate | `Raise ]
 
 val run :
+  ?pool:Lbcc_util.Pool.t ->
   ?accountant:Rounds.t ->
   ?tracer:Lbcc_obs.Trace.t ->
   ?label:string ->
@@ -83,6 +97,7 @@ type ('state, 'msg) unicast_step =
     per neighbor per superstep. *)
 
 val run_unicast :
+  ?pool:Lbcc_util.Pool.t ->
   ?accountant:Rounds.t ->
   ?tracer:Lbcc_obs.Trace.t ->
   ?label:string ->

@@ -73,8 +73,6 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
     | Model.Input_graph -> List.map fst (Graph.neighbors graph v)
     | Model.Clique -> List.filter (fun u -> u <> v) (List.init n Fun.id)
   in
-  let max_vround = ref 0 in
-  let globally_suspected = Hashtbl.create 8 in
   let init_vertex v =
     {
       id = v;
@@ -123,7 +121,6 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
       v.out <- msg;
       v.vround <- v.vround + 1;
       v.inner_live <- continue;
-      if v.vround > !max_vround then max_vround := v.vround;
       Hashtbl.reset v.acked;
       let consumed = v.got in
       v.got <- v.future;
@@ -144,10 +141,7 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
         let heard =
           match Hashtbl.find_opt v.last_heard u with Some r -> r | None -> 0
         in
-        if round - heard > patience then begin
-          Hashtbl.replace v.suspected u ();
-          Hashtbl.replace globally_suspected u ()
-        end)
+        if round - heard > patience then Hashtbl.replace v.suspected u ())
       (waiting_on v);
     if v.vround = 0 then advance v
     else if (not v.zombie) && barrier_met v then advance v;
@@ -169,7 +163,18 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
       ~size_bits:(packet_bits ~n size_bits)
       ~init:init_vertex ~step:wrapper_step ()
   in
-  let virtual_supersteps = !max_vround in
+  (* [vround] is monotone, so the max over final values equals the max ever
+     reached; [v.suspected] is never cleared, so the union over vertices is
+     the set of everyone anyone suspected.  Recovering both here keeps the
+     step closure free of cross-vertex mutation (it runs in parallel). *)
+  let virtual_supersteps =
+    Array.fold_left (fun m v -> Stdlib.max m v.vround) 0 vertices
+  in
+  let globally_suspected = Hashtbl.create 8 in
+  Array.iter
+    (fun (v : _ vertex) ->
+      Hashtbl.iter (fun u () -> Hashtbl.replace globally_suspected u ()) v.suspected)
+    vertices;
   let protocol_rounds = Stdlib.min virtual_supersteps stats.Engine.rounds in
   let retransmit_rounds = stats.Engine.rounds - protocol_rounds in
   let suspected_count = Hashtbl.length globally_suspected in

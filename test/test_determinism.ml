@@ -1,0 +1,253 @@
+(* Sequential vs. parallel determinism of the execution layer.
+
+   Every protocol below is run once on a single-lane pool (fully
+   sequential) and replayed on 2- and 4-lane pools, with and without fault
+   injection, across >= 10 seeds.  The fingerprints — final states, engine
+   stats, and the accountant's hierarchical breakdowns — must match
+   bit-for-bit: the multicore layer is a wall-clock knob only. *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+module Model = Lbcc_net.Model
+module Rounds = Lbcc_net.Rounds
+module Fault = Lbcc_net.Fault
+module Bfs = Lbcc_dist.Bfs
+module Sssp = Lbcc_dist.Sssp
+module Leader = Lbcc_dist.Leader
+module Sparsify = Lbcc_sparsifier.Sparsify
+
+let seeds = List.init 10 (fun i -> i + 1)
+let parallel_sizes = [ 2; 4 ]
+
+let graph_of seed =
+  Gen.erdos_renyi_connected (Prng.create seed) ~n:40 ~p:0.15 ~w_max:8
+
+let faults_of seed =
+  Fault.create ~seed
+    (Fault.spec ~drop_prob:0.15 ~duplicate_prob:0.1
+       ~crashes:[ (1, 3) ] ~adversarial_drops:2 ())
+
+(* Exact fingerprints: ints verbatim, floats by their bit pattern. *)
+let ints a = String.concat "," (List.map string_of_int (Array.to_list a))
+
+let floats a =
+  String.concat ","
+    (List.map
+       (fun f -> Printf.sprintf "%Lx" (Int64.bits_of_float f))
+       (Array.to_list a))
+
+let acct_fp acc =
+  let flat kvs =
+    String.concat ";" (List.map (fun (l, r) -> Printf.sprintf "%s=%d" l r) kvs)
+  in
+  flat (Rounds.breakdown acc) ^ "|" ^ flat (Rounds.bits_breakdown acc)
+
+let with_acct f =
+  let acc = Rounds.create ~bandwidth:16 in
+  let fp = f acc in
+  fp ^ "|" ^ acct_fp acc
+
+(* protocol name, fingerprint of one full run (fresh accountant and fault
+   plan per run: fault plans are stateful). *)
+let protocols =
+  [
+    ( "bfs clique",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Bfs.run ~accountant:acc ~model:Model.broadcast_congested_clique
+                ~graph:(graph_of seed) ~source:0 ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (ints r.Bfs.dist)
+              (ints r.Bfs.parent) r.Bfs.rounds r.Bfs.supersteps r.Bfs.converged)
+    );
+    ( "bfs faulty",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Bfs.run ~accountant:acc ~faults:(faults_of seed)
+                ~model:Model.broadcast_congest ~graph:(graph_of seed) ~source:0
+                ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (ints r.Bfs.dist)
+              (ints r.Bfs.parent) r.Bfs.rounds r.Bfs.supersteps r.Bfs.converged)
+    );
+    ( "sssp",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Sssp.run ~accountant:acc ~model:Model.broadcast_congest
+                ~graph:(graph_of seed) ~source:0 ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (floats r.Sssp.dist)
+              (ints r.Sssp.parent) r.Sssp.rounds r.Sssp.supersteps
+              r.Sssp.converged) );
+    ( "sssp faulty",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Sssp.run ~accountant:acc ~faults:(faults_of seed)
+                ~model:Model.broadcast_congest ~graph:(graph_of seed) ~source:0
+                ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (floats r.Sssp.dist)
+              (ints r.Sssp.parent) r.Sssp.rounds r.Sssp.supersteps
+              r.Sssp.converged) );
+    ( "leader",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Leader.run ~accountant:acc ~model:Model.broadcast_congest
+                ~graph:(graph_of seed) ()
+            in
+            Printf.sprintf "%d|%d|%d|%b" r.Leader.leader r.Leader.rounds
+              r.Leader.supersteps r.Leader.converged) );
+    ( "reliable bfs faulty",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Bfs.run_reliable ~accountant:acc ~faults:(faults_of seed)
+                ~model:Model.broadcast_congest ~graph:(graph_of seed) ~source:0
+                ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (ints r.Bfs.dist)
+              (ints r.Bfs.parent) r.Bfs.rounds r.Bfs.supersteps r.Bfs.converged)
+    );
+    ( "reliable sssp faulty",
+      fun seed ->
+        with_acct (fun acc ->
+            let r =
+              Sssp.run_reliable ~accountant:acc ~faults:(faults_of seed)
+                ~model:Model.broadcast_congest ~graph:(graph_of seed) ~source:0
+                ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b" (floats r.Sssp.dist)
+              (ints r.Sssp.parent) r.Sssp.rounds r.Sssp.supersteps
+              r.Sssp.converged) );
+    ( "sparsifier",
+      fun seed ->
+        with_acct (fun acc ->
+            let g = Gen.erdos_renyi_connected (Prng.create seed) ~n:24 ~p:0.3 ~w_max:8 in
+            let r =
+              Sparsify.run ~accountant:acc ~prng:(Prng.create (seed + 100))
+                ~graph:g ~epsilon:0.5 ()
+            in
+            let h = r.Sparsify.sparsifier in
+            let edges =
+              Array.to_list (Graph.edges h)
+              |> List.map (fun (e : Graph.edge) ->
+                     Printf.sprintf "%d-%d:%Lx" e.Graph.u e.Graph.v
+                       (Int64.bits_of_float e.Graph.w))
+            in
+            Printf.sprintf "%s|%s|%d|%d" (String.concat "," edges)
+              (ints (Sparsify.out_degrees r))
+              r.Sparsify.rounds r.Sparsify.final_sampled) );
+  ]
+
+let run_protocol f seed = f seed
+
+let test_protocol (name, f) () =
+  Pool.set_default_domains 1;
+  let baselines = List.map (fun s -> (s, run_protocol f s)) seeds in
+  List.iter
+    (fun d ->
+      Pool.set_default_domains d;
+      List.iter
+        (fun (s, expected) ->
+          let got = run_protocol f s in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed=%d domains=%d" name s d)
+            expected got)
+        baselines)
+    parallel_sizes;
+  Pool.set_default_domains 1
+
+let test_pool_parallel_for () =
+  List.iter
+    (fun d ->
+      Pool.set_default_domains d;
+      let n = 1000 in
+      let out = Array.make n 0 in
+      Pool.parallel_for (Pool.default ()) ~chunk:7 ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- i * i
+          done);
+      for i = 0 to n - 1 do
+        if out.(i) <> i * i then
+          Alcotest.failf "parallel_for domains=%d: slot %d" d i
+      done)
+    [ 1; 2; 4 ];
+  Pool.set_default_domains 1
+
+let test_pool_reduce_deterministic () =
+  (* Floating-point chunk sums must combine identically at every size. *)
+  let n = 10_000 in
+  let xs = Array.init n (fun i -> sin (float_of_int i) *. 1e3) in
+  let sum_at d =
+    Pool.set_default_domains d;
+    Pool.parallel_reduce (Pool.default ()) ~n ~init:0.0
+      ~map:(fun lo hi ->
+        let acc = ref 0.0 in
+        for i = lo to hi - 1 do
+          acc := !acc +. xs.(i)
+        done;
+        !acc)
+      ~combine:( +. ) ()
+  in
+  let s1 = sum_at 1 and s2 = sum_at 2 and s4 = sum_at 4 in
+  Pool.set_default_domains 1;
+  Alcotest.(check bool)
+    "reduce identical 1 vs 2" true
+    (Int64.bits_of_float s1 = Int64.bits_of_float s2);
+  Alcotest.(check bool)
+    "reduce identical 1 vs 4" true
+    (Int64.bits_of_float s1 = Int64.bits_of_float s4)
+
+let test_pool_exceptions () =
+  Pool.set_default_domains 4;
+  (try
+     Pool.parallel_for (Pool.default ()) ~chunk:1 ~n:64 (fun lo _ ->
+         if lo = 13 then failwith "boom");
+     Alcotest.fail "expected exception"
+   with Failure m -> Alcotest.(check string) "propagated" "boom" m);
+  (* The pool must be reusable after a failed run. *)
+  let hit = Array.make 64 false in
+  Pool.parallel_for (Pool.default ()) ~chunk:1 ~n:64 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hit.(i) <- true
+      done);
+  Alcotest.(check bool) "reusable" true (Array.for_all Fun.id hit);
+  Pool.set_default_domains 1
+
+let test_pool_nested () =
+  Pool.set_default_domains 4;
+  let out = Array.make 100 0 in
+  Pool.parallel_for (Pool.default ()) ~chunk:10 ~n:100 (fun lo hi ->
+      (* Nested call on the busy pool: must run inline, not deadlock. *)
+      Pool.parallel_for (Pool.default ()) ~chunk:1 ~n:(hi - lo) (fun l h ->
+          for i = l to h - 1 do
+            out.(lo + i) <- lo + i
+          done));
+  for i = 0 to 99 do
+    if out.(i) <> i then Alcotest.failf "nested: slot %d" i
+  done;
+  Pool.set_default_domains 1
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "parallel_for covers" `Quick test_pool_parallel_for;
+        Alcotest.test_case "reduce bit-identical" `Quick
+          test_pool_reduce_deterministic;
+        Alcotest.test_case "exception propagation" `Quick test_pool_exceptions;
+        Alcotest.test_case "nested runs inline" `Quick test_pool_nested;
+      ] );
+    ( "determinism",
+      List.map
+        (fun (name, f) ->
+          Alcotest.test_case (name ^ " 1=2=4 domains") `Quick
+            (test_protocol (name, f)))
+        protocols );
+  ]
