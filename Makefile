@@ -1,6 +1,6 @@
 CLI := ./_build/default/bin/lbcc_cli.exe
 
-.PHONY: all build test smoke bench-smoke perf ci clean
+.PHONY: all build test smoke bench-smoke perf doc ci clean
 
 all: build
 
@@ -34,9 +34,10 @@ smoke: build
 bench-smoke: build
 	LBCC_DOMAINS=2 dune runtest --force
 	rm -rf _bench_reports && mkdir -p _bench_reports
-	dune exec bench/main.exe -- E1 E5 PERF --json --out _bench_reports
+	dune exec bench/main.exe -- E1 E5 PERF BATCH --json --out _bench_reports
 	$(CLI) report --validate _bench_reports/BENCH_E1.json \
-	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_PERF.json
+	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_PERF.json \
+	  _bench_reports/BENCH_BATCH.json
 	@echo "bench-smoke: OK"
 
 # Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4
@@ -47,6 +48,15 @@ perf: build
 	dune exec bench/main.exe -- PERF --json --out _bench_reports
 	$(CLI) report --validate _bench_reports/BENCH_PERF.json
 	@echo "perf: OK"
+
+# API docs via odoc.  Skipped gracefully where odoc is not installed so the
+# target is safe in minimal containers; CI installs odoc and runs it for real.
+doc:
+	@if command -v odoc >/dev/null 2>&1 || opam list --installed odoc >/dev/null 2>&1; then \
+	  dune build @doc && echo "doc: HTML under _build/default/_doc/_html"; \
+	else \
+	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
+	fi
 
 ci: build test smoke
 

@@ -36,6 +36,8 @@ module Model = Lbcc_net.Model
 module Rounds = Lbcc_net.Rounds
 module Report = Lbcc_obs.Report
 module Json = Lbcc_obs.Json
+module Cache = Lbcc_service.Cache
+module Prepared = Lbcc_service.Prepared
 
 let section id title = Printf.printf "\n=== %s: %s ===\n" id title
 
@@ -967,6 +969,147 @@ let perf () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* BATCH: prepared-operator service layer                              *)
+
+let batch () =
+  section "BATCH"
+    "prepared operators: amortized rounds/query, batching, handle cache";
+  let n = 96 in
+  let g =
+    Gen.erdos_renyi_connected (Prng.create 21) ~n ~p:0.25 ~w_max:8
+  in
+  let eps = 1e-8 in
+  let rhs k =
+    let prng = Prng.create 99 in
+    List.init k (fun _ ->
+        Vec.mean_center (Vec.init n (fun _ -> Prng.gaussian prng)))
+  in
+  (* Amortized rounds per query vs batch size: Thm 1.3 preprocessing is
+     paid once per handle, so (prepare + k * query) / k must fall as k
+     grows. *)
+  let ks = [ 1; 2; 4; 8; 16 ] in
+  Printf.printf "%4s %12s %12s %14s\n" "k" "prepare" "rounds/query"
+    "amortized";
+  let rows =
+    List.map
+      (fun k ->
+        let p = Prepared.create ~seed:5 g in
+        ignore (Prepared.solve_many ~eps p (rhs k));
+        let amortized = Prepared.amortized_rounds_per_query p in
+        let per_query = Prepared.query_rounds p / k in
+        Printf.printf "%4d %12d %12d %14.1f\n" k
+          (Prepared.preprocessing_rounds p)
+          per_query amortized;
+        (k, Prepared.preprocessing_rounds p, per_query, amortized))
+      ks
+  in
+  let amortized = List.map (fun (_, _, _, a) -> a) rows in
+  let ratio_max =
+    let rec worst acc = function
+      | a :: (b :: _ as rest) -> worst (Float.max acc (b /. a)) rest
+      | _ -> acc
+    in
+    worst 0.0 amortized
+  in
+  (* Per-query rounds must equal the standalone Thm 1.3 query phase. *)
+  let standalone =
+    let s = Solver.preprocess ~prng:(Prng.create 5) ~graph:g () in
+    (Solver.solve s ~b:(List.hd (rhs 1)) ~eps).Solver.rounds
+  in
+  let per_query = match rows with (_, _, q, _) :: _ -> q | [] -> 0 in
+  (* Wall-clock per solve and bit-identity at 1/2/4 domains, against the
+     sequential reference. *)
+  let k_fixed = 8 in
+  let bs = rhs k_fixed in
+  let fp qs =
+    String.concat ";"
+      (List.map
+         (fun (q : Prepared.query_result) ->
+           String.concat ","
+             (List.map
+                (fun f -> Printf.sprintf "%Lx" (Int64.bits_of_float f))
+                (Array.to_list q.Prepared.solution)))
+         qs)
+  in
+  let run_at d =
+    Pool.set_default_domains d;
+    let p = Prepared.create ~seed:5 g in
+    let qs, dt = time (fun () -> Prepared.solve_many ~eps p bs) in
+    (fp qs, dt /. float_of_int k_fixed)
+  in
+  let fp1, t1 = run_at 1 in
+  let fp2, t2 = run_at 2 in
+  let fp4, t4 = run_at 4 in
+  Pool.set_default_domains 1;
+  let fp_seq =
+    let p = Prepared.create ~seed:5 g in
+    fp (List.map (fun b -> Prepared.solve ~eps p ~b) bs)
+  in
+  let identical = fp1 = fp2 && fp2 = fp4 && fp1 = fp_seq in
+  Printf.printf
+    "batch k=%d wall-clock per solve: %.4fs (1 domain) %.4fs (2) %.4fs (4); \
+     bit-identical=%b\n"
+    k_fixed t1 t2 t4 identical;
+  (* Handle cache: repeated creates on the identical graph hit. *)
+  let cache = Cache.create ~capacity:4 () in
+  let reps = 4 in
+  for _ = 1 to reps do
+    ignore (Prepared.create_cached ~cache ~seed:5 g)
+  done;
+  let st = Cache.stats cache in
+  let hit_rate =
+    float_of_int st.Cache.hits /. float_of_int (st.Cache.hits + st.Cache.misses)
+  in
+  Printf.printf "cache: %d prepares -> %d hits / %d misses (hit rate %.2f)\n"
+    reps st.Cache.hits st.Cache.misses hit_rate;
+  note
+    "claims: amortized rounds/query strictly decreasing in k; batched\n\
+     solutions bit-identical to sequential at 1/2/4 domains; per-query\n\
+     rounds equal the standalone Thm 1.3 query phase; repeat prepares hit\n\
+     the cache.\n";
+  report ~experiment:"BATCH"
+    ~title:"prepared-operator service: amortization, batching, cache"
+    ~extra:
+      [
+        ("n", Json.Int n);
+        ("batch_sizes", Json.Arr (List.map (fun k -> Json.Int k) ks));
+        ( "amortized_rounds_per_query",
+          Json.Arr (List.map (fun a -> Json.Float a) amortized) );
+        ("prepare_rounds", Json.Int (match rows with (_, p, _, _) :: _ -> p | [] -> 0));
+        ("query_rounds", Json.Int per_query);
+        ( "seconds_per_solve",
+          Json.Obj
+            [
+              ("domains1", Json.Float t1);
+              ("domains2", Json.Float t2);
+              ("domains4", Json.Float t4);
+            ] );
+        ( "cache",
+          Json.Obj
+            [
+              ("prepares", Json.Int reps);
+              ("hits", Json.Int st.Cache.hits);
+              ("misses", Json.Int st.Cache.misses);
+              ("hit_rate", Json.Float hit_rate);
+            ] );
+      ]
+    [
+      cl ~direction:Report.Le
+        "max consecutive amortized-rounds ratio across k doublings" ratio_max
+        0.95;
+      cl ~direction:Report.Ge
+        "batched solutions bit-identical at 1/2/4 domains vs sequential"
+        (if identical then 1.0 else 0.0)
+        1.0;
+      cl ~direction:Report.Le
+        "per-query rounds deviation from standalone Thm 1.3 query"
+        (float_of_int (abs (per_query - standalone)))
+        0.0;
+      cl ~direction:Report.Ge "handle cache hit rate over repeated prepares"
+        hit_rate 0.5;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -1038,12 +1181,13 @@ let all_experiments =
     ("E15", fun () -> Some (e15 ()));
     ("E16", fun () -> Some (e16 ()));
     ("PERF", fun () -> Some (perf ()));
+    ("BATCH", fun () -> Some (batch ()));
     ("micro", fun () -> micro (); None);
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [E1..E16|PERF|micro]... [--json] [--out DIR]\n\
+    "usage: main.exe [E1..E16|PERF|BATCH|micro]... [--json] [--out DIR]\n\
      --json writes one BENCH_<EXP>.json per selected experiment (micro has\n\
      no report); --out selects the output directory (default: cwd).";
   exit 2

@@ -3,6 +3,8 @@
 
      lbcc sparsify --vertices 64 --family er --epsilon 0.5 --max-retries 3
      lbcc solve    --vertices 64 --family grid --eps 1e-8
+     lbcc solve    --vertices 64 --batch 8       # one prepared handle, 8 RHS
+     lbcc prepare  --vertices 64 --queries 8 --repeat 2
      lbcc spanner  --vertices 96 --stretch 3 --edge-prob 0.5
      lbcc flow     --vertices 8 --density 0.3 --max-capacity 6 --max-cost 5
      lbcc dist     --algo sssp --drop-prob 0.2 --crash 5@30 --fault-seed 7
@@ -242,7 +244,8 @@ let sparsify_cmd =
           o.Resilient.value
     | None ->
         let tracer, metrics = make_obs ~trace ~json None in
-        let r = Lbcc.sparsify ~seed ~epsilon ?t ?tracer ?metrics g in
+        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+        let r = Lbcc.sparsify ~ctx ~epsilon ?t g in
         Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
           (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
         pp_rounds r.Lbcc.rounds;
@@ -255,14 +258,28 @@ let sparsify_cmd =
          const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
          $ max_retries_arg $ trace_arg $ json_arg))
 
+(* Deterministic batch of zero-sum right-hand sides, all drawn from one
+   stream so every b differs. *)
+let make_rhs ~seed ~nv k =
+  let prng = Prng.create (seed + 1) in
+  List.init k (fun _ ->
+      Vec.mean_center (Vec.init nv (fun _ -> Prng.gaussian prng)))
+
 let solve_cmd =
   let eps = Arg.(value & opt float 1e-8 & info [ "eps" ] ~doc:"Solution accuracy.") in
-  let run seed n family w_max eps max_retries trace json =
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"K"
+          ~doc:
+            "Solve K right-hand sides through one prepared handle \
+             (preprocessing paid once, queries batched across the worker \
+             domains).  K=1 uses the single-solve path.")
+  in
+  let run seed n family w_max eps batch max_retries trace json =
     let g = make_graph family seed n w_max in
     let nv = Graph.n g in
     Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
-    let prng = Prng.create (seed + 1) in
-    let b = Vec.mean_center (Vec.init nv (fun _ -> Prng.gaussian prng)) in
     let report (r : Lbcc.laplacian_result) =
       Printf.printf
         "solved L x = b: residual %.2e in %d iterations\n\
@@ -270,23 +287,125 @@ let solve_cmd =
         r.Lbcc.residual r.Lbcc.iterations r.Lbcc.preprocessing_rounds
         r.Lbcc.solve_rounds
     in
-    match max_retries with
-    | Some max_retries ->
-        ignore (make_obs ~trace ~json (Some max_retries));
-        let o = Resilient.solve_laplacian ~seed ~eps ~max_retries g ~b in
-        pp_outcome "solve" o;
-        Option.iter report o.Resilient.value
-    | None ->
-        let tracer, metrics = make_obs ~trace ~json None in
-        report (Lbcc.solve_laplacian ~seed ~eps ?tracer ?metrics g ~b);
-        emit_obs ~trace ~json tracer metrics
+    if batch > 1 then begin
+      if max_retries <> None then
+        prerr_endline "warning: --max-retries is ignored with --batch";
+      let tracer, metrics = make_obs ~trace ~json None in
+      let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+      let p, hit = Lbcc.Prepared.create_cached ~ctx g in
+      let qs = Lbcc.Prepared.solve_many ~eps p (make_rhs ~seed ~nv batch) in
+      let worst =
+        List.fold_left
+          (fun a (q : Lbcc.Prepared.query_result) -> Float.max a q.residual)
+          0.0 qs
+      in
+      Printf.printf "prepared: fingerprint=%s  cache %s\n"
+        (Lbcc.Prepared.fingerprint_hex p)
+        (if hit then "hit" else "miss");
+      Printf.printf
+        "batch of %d solves: worst residual %.2e, %d rounds per query\n"
+        batch worst
+        (match qs with q :: _ -> q.Lbcc.Prepared.rounds | [] -> 0);
+      Printf.printf
+        "rounds: %d preprocessing (paid once) + %d query; amortized %.1f \
+         per query\n"
+        (Lbcc.Prepared.preprocessing_rounds p)
+        (Lbcc.Prepared.query_rounds p)
+        (Lbcc.Prepared.amortized_rounds_per_query p);
+      emit_obs ~trace ~json tracer metrics
+    end
+    else begin
+      let b = List.hd (make_rhs ~seed ~nv 1) in
+      match max_retries with
+      | Some max_retries ->
+          ignore (make_obs ~trace ~json (Some max_retries));
+          let o = Resilient.solve_laplacian ~seed ~eps ~max_retries g ~b in
+          pp_outcome "solve" o;
+          Option.iter report o.Resilient.value
+      | None ->
+          let tracer, metrics = make_obs ~trace ~json None in
+          let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+          report (Lbcc.solve_laplacian ~ctx ~eps g ~b);
+          emit_obs ~trace ~json tracer metrics
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Laplacian solving (Theorem 1.3)")
     (with_domains
        Term.(
-         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps $ batch
          $ max_retries_arg $ trace_arg $ json_arg))
+
+let prepare_cmd =
+  let queries =
+    Arg.(
+      value & opt int 0
+      & info [ "queries" ] ~docv:"K"
+          ~doc:
+            "After preparing, answer K random solve queries through the \
+             handle and report the amortized rounds per query.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "Prepare R times; every call after the first hits the handle \
+             cache (same graph fingerprint and seed).")
+  in
+  let run seed n family w_max queries repeat trace json =
+    let g = make_graph family seed n w_max in
+    let nv = Graph.n g in
+    Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
+    let tracer, metrics = make_obs ~trace ~json None in
+    let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+    let handle = ref None in
+    for i = 1 to Stdlib.max 1 repeat do
+      let p, hit = Lbcc.Prepared.create_cached ~ctx g in
+      Printf.printf "prepare[%d]: %s\n" i
+        (if hit then "cache hit" else "cache miss (ran preprocessing)");
+      handle := Some p
+    done;
+    let p = match !handle with Some p -> p | None -> assert false in
+    let solver = Lbcc.Prepared.solver p in
+    Printf.printf
+      "fingerprint: %s\n\
+       sparsifier: m=%d  certified kappa=%.3f\n\
+       preprocessing: %d rounds, %d bits (paid once per handle)\n"
+      (Lbcc.Prepared.fingerprint_hex p)
+      (Graph.m (Lbcc_laplacian.Solver.sparsifier solver))
+      (Lbcc_laplacian.Solver.kappa solver)
+      (Lbcc.Prepared.preprocessing_rounds p)
+      (Lbcc.Prepared.preprocessing_bits p);
+    if queries > 0 then begin
+      let qs = Lbcc.Prepared.solve_many p (make_rhs ~seed ~nv queries) in
+      let worst =
+        List.fold_left
+          (fun a (q : Lbcc.Prepared.query_result) -> Float.max a q.residual)
+          0.0 qs
+      in
+      Printf.printf
+        "queries: %d answered, worst residual %.2e, %d rounds each; \
+         amortized %.1f rounds per query\n"
+        (Lbcc.Prepared.queries p) worst
+        (match qs with q :: _ -> q.Lbcc.Prepared.rounds | [] -> 0)
+        (Lbcc.Prepared.amortized_rounds_per_query p)
+    end;
+    let st = Lbcc.Cache.stats (Lbcc.Prepared.shared_cache ()) in
+    Printf.printf "cache: %d/%d entries, %d hits, %d misses, %d evictions\n"
+      st.Lbcc.Cache.size st.Lbcc.Cache.capacity st.Lbcc.Cache.hits
+      st.Lbcc.Cache.misses st.Lbcc.Cache.evictions;
+    emit_obs ~trace ~json tracer metrics
+  in
+  Cmd.v
+    (Cmd.info "prepare"
+       ~doc:
+         "Build (or fetch from cache) a prepared Laplacian operator: \
+          Theorem 1.3 preprocessing once, then cheap per-query solves")
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ queries
+         $ repeat $ trace_arg $ json_arg))
 
 let spanner_cmd =
   let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
@@ -368,7 +487,8 @@ let flow_cmd =
         Option.iter report o.Resilient.value
     | None ->
         let tracer, metrics = make_obs ~trace ~json None in
-        report (Lbcc.min_cost_max_flow ~seed ?tracer ?metrics net);
+        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+        report (Lbcc.min_cost_max_flow ~ctx net);
         emit_obs ~trace ~json tracer metrics
   in
   Cmd.v
@@ -581,7 +701,7 @@ let main_cmd =
   let doc = "The Laplacian paradigm in the Broadcast Congested Clique" in
   Cmd.group
     (Cmd.info "lbcc" ~version:Lbcc.version ~doc)
-    [ sparsify_cmd; solve_cmd; spanner_cmd; flow_cmd; dist_cmd; gen_cmd;
-      report_cmd ]
+    [ sparsify_cmd; solve_cmd; prepare_cmd; spanner_cmd; flow_cmd; dist_cmd;
+      gen_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -8,13 +8,20 @@
    generator corner and extract at a far consumer, and compare the
    distributed solver's answer with the exact factorization.
 
+   A grid operator asks many such questions about ONE network, so this is
+   the natural home for the prepared API: [Prepared.create] pays the
+   Theorem 1.3 preprocessing (sparsify + factor + certify) once, and every
+   potential or effective-resistance query after that costs only the
+   query-phase rounds.
+
    Run with:  dune exec examples/electrical_grid.exe *)
 
-open Lbcc_util
 module Graph = Lbcc_graph.Graph
 module Vec = Lbcc_linalg.Vec
 module Exact = Lbcc_laplacian.Exact
 module Solver = Lbcc_laplacian.Solver
+module Prepared = Lbcc_service.Prepared
+open Lbcc_util
 
 let grid_with_transmission prng ~rows ~cols ~shortcuts =
   let base = Lbcc_graph.Gen.grid prng ~rows ~cols ~w_max:4 in
@@ -58,23 +65,49 @@ let () =
   b.(generator) <- 1.0;
   b.(consumer) <- -1.0;
 
-  (* Distributed solve (Theorem 1.3). *)
-  let solver = Solver.preprocess ~prng:(Prng.create 5) ~graph:g ~t:8 () in
-  let r = Solver.solve solver ~b ~eps:1e-10 in
+  (* Prepare the operator once (Theorem 1.3 preprocessing). *)
+  let p = Prepared.create ~seed:5 ~t:8 g in
+  let solver = Prepared.solver p in
   Printf.printf "sparsifier: m=%d of %d, certified kappa=%.2f\n"
     (Graph.m (Solver.sparsifier solver))
     (Graph.m g) (Solver.kappa solver);
+  Printf.printf "prepare: %d rounds paid once (handle %s)\n"
+    (Prepared.preprocessing_rounds p)
+    (Prepared.fingerprint_hex p);
+
+  (* First query against the handle: the generator->consumer potential. *)
+  let r = Prepared.solve ~eps:1e-10 p ~b in
   Printf.printf "solve: %d iterations, %d rounds, residual %.2e\n"
-    r.Solver.iterations r.Solver.rounds r.Solver.residual;
+    r.Prepared.iterations r.Prepared.rounds r.Prepared.residual;
 
   (* Compare with the exact direct solve. *)
-  let x = r.Solver.solution in
+  let x = r.Prepared.solution in
   let x_exact = Exact.solve_graph g b in
   let rel_err = Vec.dist2 x x_exact /. Vec.norm2 x_exact in
   Printf.printf "agreement with direct factorization: %.2e relative error\n" rel_err;
 
   let reff = x.(generator) -. x.(consumer) in
   Printf.printf "\neffective resistance generator->consumer: %.4f ohm\n" reff;
+
+  (* Many more resistance queries on the SAME handle: no re-preprocessing,
+     each costs only the query phase. *)
+  let probes =
+    [ (0, cols - 1); (0, (rows - 1) * cols); (cols - 1, n - 1); (n / 2, n - 1) ]
+  in
+  Printf.printf "\nresistance probes on the prepared handle:\n";
+  List.iter
+    (fun (s, t) ->
+      let reff, q = Prepared.effective_resistance p ~s ~t in
+      Printf.printf "  R_eff(%2d,%2d) = %.4f ohm  (%d query rounds)\n" s t reff
+        q.Prepared.rounds)
+    probes;
+  Printf.printf
+    "handle totals: %d queries, %d prepare + %d query rounds, amortized %.1f \
+     rounds/query\n"
+    (Prepared.queries p)
+    (Prepared.preprocessing_rounds p)
+    (Prepared.query_rounds p)
+    (Prepared.amortized_rounds_per_query p);
 
   (* Current on each line: i = w * (potential difference); check that the
      generator injects exactly one unit (Kirchhoff). *)

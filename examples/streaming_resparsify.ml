@@ -8,12 +8,20 @@
    and re-sparsifies [sketch ∪ new batch] — the sketch stays small while
    the accumulated input keeps growing.
 
+   After each batch the current sketch is turned into a prepared operator
+   ([Prepared.create] = Theorem 1.3 preprocessing) and a small batch of
+   Laplacian queries is answered through [Prepared.solve_many]:
+   preprocessing is charged once per sketch generation, so the amortized
+   rounds/query drop as more queries ride on the same handle.
+
    Run with:  dune exec examples/streaming_resparsify.exe *)
 
-open Lbcc_util
 module Graph = Lbcc_graph.Graph
+module Vec = Lbcc_linalg.Vec
 module Sparsify = Lbcc_sparsifier.Sparsify
 module Certify = Lbcc_sparsifier.Certify
+module Prepared = Lbcc_service.Prepared
+open Lbcc_util
 
 let () =
   let n = 96 in
@@ -27,8 +35,17 @@ let () =
   Printf.printf
     "streaming %d edges over %d vertices in %d batches of ~%d edges\n\n"
     (Graph.m full) n batches per_batch;
-  Printf.printf "%6s | %9s %9s | %9s %9s\n" "batch" "seen m" "sketch m"
-    "eps(seen)" "compress";
+  Printf.printf "%6s | %9s %9s | %9s %9s | %9s\n" "batch" "seen m" "sketch m"
+    "eps(seen)" "compress" "amort r/q";
+
+  (* Each sketch generation answers this many Laplacian queries through one
+     prepared handle before the next batch arrives. *)
+  let queries_per_batch = 4 in
+  let query_rhs =
+    let qprng = Prng.create 7 in
+    List.init queries_per_batch (fun _ ->
+        Vec.mean_center (Vec.init n (fun _ -> Prng.gaussian qprng)))
+  in
 
   let sketch = ref (Graph.create ~n []) in
   let seen = ref (Graph.create ~n []) in
@@ -50,9 +67,20 @@ let () =
         (Certify.exact !seen !sketch).Certify.epsilon_achieved
       else nan
     in
-    Printf.printf "%6d | %9d %9d | %9.3f %8.1f%%\n" (b + 1) (Graph.m !seen)
-      (Graph.m !sketch) eps
+    (* Prepare the new sketch once and batch this generation's queries
+       through the handle: amortized rounds/query = (prepare + q * query) / q. *)
+    let amortized =
+      if Graph.is_connected !sketch then begin
+        let p = Prepared.create ~seed:(200 + b) !sketch in
+        ignore (Prepared.solve_many p query_rhs);
+        Prepared.amortized_rounds_per_query p
+      end
+      else nan
+    in
+    Printf.printf "%6d | %9d %9d | %9.3f %8.1f%% | %9.1f\n" (b + 1)
+      (Graph.m !seen) (Graph.m !sketch) eps
       (100.0 *. float_of_int (Graph.m !sketch) /. float_of_int (Graph.m !seen))
+      amortized
   done;
   Printf.printf
     "\nthe sketch answers Laplacian queries for the whole stream: the\n\

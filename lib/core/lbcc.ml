@@ -6,6 +6,10 @@ module Rounds = Lbcc_net.Rounds
 module Model = Lbcc_net.Model
 module Trace = Lbcc_obs.Trace
 module Metrics = Lbcc_obs.Metrics
+module Ctx = Lbcc_service.Ctx
+module Prepared = Lbcc_service.Prepared
+module Cache = Lbcc_service.Cache
+module Fingerprint = Lbcc_service.Fingerprint
 
 let version = "1.0.0"
 
@@ -48,7 +52,9 @@ type sparsifier_result = {
   rounds : rounds_report;
 }
 
-let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t ?tracer ?metrics g =
+let sparsify ?ctx ?seed ?(epsilon = 0.5) ?t ?tracer ?metrics g =
+  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+  let seed = c.Ctx.seed and tracer = c.Ctx.tracer and metrics = c.Ctx.metrics in
   let n = Graph.n g in
   let acc = fresh_accountant ?tracer ~n () in
   let prng = Prng.create seed in
@@ -81,21 +87,31 @@ type laplacian_result = {
   rounds : rounds_report;
 }
 
-let solve_laplacian ?(seed = 1) ?(eps = 1e-8) ?tracer ?metrics g ~b =
-  let prng = Prng.create seed in
-  let acc = fresh_accountant ?tracer ~n:(Graph.n g) () in
-  let solver = Lbcc_laplacian.Solver.preprocess ~accountant:acc ~prng ~graph:g () in
-  let r = Lbcc_laplacian.Solver.solve ~accountant:acc solver ~b ~eps in
+(* Mirror a handle's one-time preprocessing cost into a per-call accountant
+   (label-for-label, so the report's breakdown matches a from-scratch run);
+   skipped on cache hits, where preparation was paid by an earlier call. *)
+let mirror_prepare acc p =
+  List.iter
+    (fun (label, rounds, bits) -> Rounds.charge acc ~bits ~label ~rounds)
+    (Prepared.prepare_breakdown p)
+
+let solve_laplacian ?ctx ?seed ?(eps = 1e-8) ?tracer ?metrics g ~b =
+  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+  let acc = fresh_accountant ?tracer:c.Ctx.tracer ~n:(Graph.n g) () in
+  let p, hit = Prepared.create_cached ~ctx:c g in
+  if not hit then mirror_prepare acc p;
+  let q = Prepared.solve ~accountant:acc ~eps p ~b in
+  let metrics = c.Ctx.metrics in
   observe_run ?metrics ~op:"solve" acc;
-  Metrics.set_gauge metrics "solve.residual" r.Lbcc_laplacian.Solver.residual;
+  Metrics.set_gauge metrics "solve.residual" q.Prepared.residual;
   Metrics.set_gauge metrics "solve.iterations"
-    (float_of_int r.Lbcc_laplacian.Solver.iterations);
+    (float_of_int q.Prepared.iterations);
   {
-    solution = r.Lbcc_laplacian.Solver.solution;
-    residual = r.Lbcc_laplacian.Solver.residual;
-    iterations = r.Lbcc_laplacian.Solver.iterations;
-    preprocessing_rounds = Lbcc_laplacian.Solver.preprocessing_rounds solver;
-    solve_rounds = r.Lbcc_laplacian.Solver.rounds;
+    solution = q.Prepared.solution;
+    residual = q.Prepared.residual;
+    iterations = q.Prepared.iterations;
+    preprocessing_rounds = Prepared.preprocessing_rounds p;
+    solve_rounds = q.Prepared.rounds;
     rounds = report_of acc;
   }
 
@@ -108,7 +124,9 @@ type flow_result = {
   rounds : rounds_report;
 }
 
-let min_cost_max_flow ?(seed = 1) ?tracer ?metrics net =
+let min_cost_max_flow ?ctx ?seed ?tracer ?metrics net =
+  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+  let seed = c.Ctx.seed and tracer = c.Ctx.tracer and metrics = c.Ctx.metrics in
   let acc = fresh_accountant ?tracer ~n:net.Network.n () in
   let r = Lbcc_flow.Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create seed) net in
   observe_run ?metrics ~op:"mcmf" acc;
@@ -125,13 +143,25 @@ let min_cost_max_flow ?(seed = 1) ?tracer ?metrics net =
     rounds = report_of acc;
   }
 
-let effective_resistance ?(seed = 1) g ~s ~t =
-  if s = t then 0.0
-  else begin
-    let n = Graph.n g in
-    let b = Vec.zeros n in
-    b.(s) <- 1.0;
-    b.(t) <- -1.0;
-    let r = solve_laplacian ~seed ~eps:1e-10 g ~b in
-    r.solution.(s) -. r.solution.(t)
-  end
+type resistance_result = {
+  resistance : float;
+  query_rounds : int;
+  preprocessing_rounds : int;
+  rounds : rounds_report;
+}
+
+let effective_resistance ?ctx ?seed ?tracer ?metrics g ~s ~t =
+  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+  let acc = fresh_accountant ?tracer:c.Ctx.tracer ~n:(Graph.n g) () in
+  let p, hit = Prepared.create_cached ~ctx:c g in
+  if not hit then mirror_prepare acc p;
+  let resistance, q = Prepared.effective_resistance ~accountant:acc p ~s ~t in
+  let metrics = c.Ctx.metrics in
+  observe_run ?metrics ~op:"resistance" acc;
+  Metrics.set_gauge metrics "resistance.value" resistance;
+  {
+    resistance;
+    query_rounds = q.Prepared.rounds;
+    preprocessing_rounds = Prepared.preprocessing_rounds p;
+    rounds = report_of acc;
+  }

@@ -11,12 +11,39 @@
 
     The underlying building blocks are exposed through the per-subsystem
     libraries ([Lbcc_spanner], [Lbcc_sparsifier], [Lbcc_laplacian],
-    [Lbcc_lp], [Lbcc_flow], [Lbcc_net], [Lbcc_graph], [Lbcc_linalg],
-    [Lbcc_util]); this module is the curated front door. *)
+    [Lbcc_service], [Lbcc_lp], [Lbcc_flow], [Lbcc_net], [Lbcc_graph],
+    [Lbcc_linalg], [Lbcc_util]); this module is the curated front door.
+
+    {b Run contexts.}  Every entry point accepts a {!Ctx.t} bundling the
+    seed / tracer / metrics triple.  The per-call [?seed]/[?tracer]/
+    [?metrics] labels are deprecated compatibility wrappers over [?ctx]
+    (an explicitly passed label overrides the corresponding [ctx] field);
+    new code should build one context and pass it everywhere.
+
+    {b Prepared handles.}  {!solve_laplacian} and {!effective_resistance}
+    now route through the {!Prepared} service layer: Theorem 1.3's
+    preprocessing runs at most once per (graph fingerprint, seed) — repeat
+    calls hit the process-wide handle cache and pay only query-phase
+    rounds.  Hold a {!Prepared.t} directly for prepare-once / query-many
+    workloads and multi-RHS batching. *)
 
 module Graph = Lbcc_graph.Graph
 module Network = Lbcc_flow.Network
 module Vec = Lbcc_linalg.Vec
+
+module Ctx = Lbcc_service.Ctx
+(** Run context: seed + observability sinks, passed as [?ctx] to every
+    entry point. *)
+
+module Prepared = Lbcc_service.Prepared
+(** Prepared-operator handles: preprocess once, query many times, batch
+    right-hand sides across domains. *)
+
+module Cache = Lbcc_service.Cache
+(** The LRU cache type behind {!Prepared.create_cached}. *)
+
+module Fingerprint = Lbcc_service.Fingerprint
+(** Structural graph fingerprints (the handle-cache key). *)
 
 type rounds_report = {
   total : int;  (** rounds charged in the simulated model *)
@@ -40,6 +67,7 @@ type sparsifier_result = {
 }
 
 val sparsify :
+  ?ctx:Ctx.t ->
   ?seed:int ->
   ?epsilon:float ->
   ?t:int ->
@@ -49,9 +77,12 @@ val sparsify :
   sparsifier_result
 (** Spectral sparsification (Theorem 1.2) of a connected weighted graph.
     [epsilon] defaults to [0.5]; [t] overrides the bundle size.  With a
-    [?tracer] the run's phases open spans under the caller's current span;
-    with [?metrics] the run bumps the registry (see the "Metrics" section
-    of the README for the label set). *)
+    tracer the run's phases open spans under the caller's current span;
+    with metrics the run bumps the registry (see the "Metrics" section
+    of the README for the label set).
+    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
+    instead.  They remain as thin wrappers (each overrides the matching
+    [ctx] field) and will be removed once in-tree callers are migrated. *)
 
 type laplacian_result = {
   solution : Vec.t;
@@ -63,6 +94,7 @@ type laplacian_result = {
 }
 
 val solve_laplacian :
+  ?ctx:Ctx.t ->
   ?seed:int ->
   ?eps:float ->
   ?tracer:Lbcc_obs.Trace.t ->
@@ -71,7 +103,17 @@ val solve_laplacian :
   b:Vec.t ->
   laplacian_result
 (** High-precision Laplacian solve (Theorem 1.3): [eps] defaults to
-    [1e-8]; [b] must have zero sum; the graph must be connected. *)
+    [1e-8]; [b] must have zero sum; the graph must be connected.
+
+    Served through the {!Prepared} cache: the first call on a graph pays
+    preprocessing (reported under the [prepare/*] labels), repeat calls
+    with the same (graph, seed) reuse the cached handle and report only
+    query-phase rounds ([query/*]).  [preprocessing_rounds] always records
+    the handle's one-time cost; [rounds.total] reflects what {e this} call
+    charged.
+    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
+    instead.  They remain as thin wrappers (each overrides the matching
+    [ctx] field) and will be removed once in-tree callers are migrated. *)
 
 type flow_result = {
   flow : float array;
@@ -83,17 +125,43 @@ type flow_result = {
 }
 
 val min_cost_max_flow :
+  ?ctx:Ctx.t ->
   ?seed:int ->
   ?tracer:Lbcc_obs.Trace.t ->
   ?metrics:Lbcc_obs.Metrics.t ->
   Network.t ->
   flow_result
 (** Exact minimum-cost maximum s-t flow (Theorem 1.1) through the interior
-    point pipeline, certified against successive shortest paths. *)
+    point pipeline, certified against successive shortest paths.  The LP
+    instance and normal-operator workspaces are prepared once (one
+    [mcmf/prepare/*] phase in the report); every IPM iteration then charges
+    only [query/*] solve rounds.
+    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
+    instead.  They remain as thin wrappers (each overrides the matching
+    [ctx] field) and will be removed once in-tree callers are migrated. *)
 
-val effective_resistance : ?seed:int -> Graph.t -> s:int -> t:int -> float
+type resistance_result = {
+  resistance : float;  (** [R_eff(s,t) = (e_s - e_t)^T L^+ (e_s - e_t)] *)
+  query_rounds : int;  (** rounds for this query alone *)
+  preprocessing_rounds : int;  (** the handle's one-time preparation cost *)
+  rounds : rounds_report;  (** full accounting for this call *)
+}
+
+val effective_resistance :
+  ?ctx:Ctx.t ->
+  ?seed:int ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  Graph.t ->
+  s:int ->
+  t:int ->
+  resistance_result
 (** Effective resistance between two vertices via the Laplacian solver —
-    the classical first application of the Laplacian paradigm. *)
+    the classical first application of the Laplacian paradigm.  Routed
+    through the {!Prepared} cache like {!solve_laplacian}, and — unlike the
+    historical float-returning version — reports its round accounting
+    instead of discarding it.
+    @deprecated the [?seed] label: pass [?ctx] instead. *)
 
 val version : string
 

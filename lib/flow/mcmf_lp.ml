@@ -3,6 +3,7 @@ module Vec = Lbcc_linalg.Vec
 module Dense = Lbcc_linalg.Dense
 module Sparse = Lbcc_linalg.Sparse
 module Rounds = Lbcc_net.Rounds
+module Payload = Lbcc_net.Payload
 module Problem = Lbcc_lp.Problem
 module Ipm = Lbcc_lp.Ipm
 module Gremban = Lbcc_laplacian.Gremban
@@ -131,13 +132,20 @@ let laplacian_normal_solver ?accountant ?(backend = `Direct) inst =
     let per_iter = 2 * Stdlib.max 1 (Bits.ceil_div (Bits.float_bits ()) bandwidth) in
     iters * per_iter
   in
+  (* Prepared workspaces, allocated once per operator and reused by every
+     IPM iteration's solve: the normal-matrix buffer and the floored
+     diagonal.  The IPM drives the solver sequentially, so reuse is safe. *)
+  let m_mat = Dense.create n_lp n_lp in
+  let d_floored = Array.make inst.m_lp 0.0 in
   let solve ~d ~rhs =
     (* Relative floor on the diagonal scaling: entries that underflow to
        zero (coordinates numerically on the boundary) would otherwise zero
        out a row of the normal matrix. *)
     let dmax = Array.fold_left Float.max 0.0 d in
-    let d = Array.map (fun x -> Float.max x (1e-120 *. Float.max dmax 1e-300)) d in
-    let m_mat = Dense.create n_lp n_lp in
+    let floor_v = 1e-120 *. Float.max dmax 1e-300 in
+    Array.iteri (fun i x -> d_floored.(i) <- Float.max x floor_v) d;
+    let d = d_floored in
+    Dense.fill m_mat 0.0;
     (* B D1 B^T *)
     Array.iteri
       (fun e (arc : Network.arc) ->
@@ -203,21 +211,51 @@ type solve_result = {
   lp_objective : float;
 }
 
+(* One-time instance broadcast: every vertex announces its incident arcs
+   (endpoints, capacity, perturbed cost) so the LP instance is globally
+   known before the IPM starts; the superstep costs the largest per-vertex
+   message.  Charged once under "prepare/flow-instance". *)
+let charge_instance acc (net : Network.t) =
+  let nv = net.Network.n in
+  let out_deg = Array.make nv 0 in
+  Array.iter
+    (fun (a : Network.arc) -> out_deg.(a.src) <- out_deg.(a.src) + 1)
+    net.Network.arcs;
+  let max_deg = Array.fold_left Stdlib.max 1 out_deg in
+  let arc_bits =
+    Payload.size
+      [
+        Payload.Vertex_id nv;
+        Payload.Vertex_id nv;
+        Payload.Int (Network.max_capacity net);
+        Payload.Int (Network.max_cost net);
+      ]
+  in
+  Rounds.charge_vector acc ~entries:max_deg ~label:"flow-instance"
+    ~entry_bits:arc_bits
+
 let solve ?accountant ?(config = Ipm.default_config) ?constants ?eps ~prng net =
-  let inst = build ?constants ~prng net in
   let acc =
     match accountant with
     | Some a -> a
     | None ->
         Rounds.create ~bandwidth:(Lbcc_net.Model.bandwidth ~n:net.Network.n)
   in
-  let solver = laplacian_normal_solver ~accountant:acc inst in
+  Rounds.with_phase acc "mcmf" @@ fun () ->
+  (* Prepare phase, paid once: build the LP instance, broadcast it, and set
+     up the normal-operator workspaces.  Every IPM iteration afterwards
+     charges only query-phase normal solves. *)
+  let inst, solver =
+    Rounds.with_phase acc "prepare" @@ fun () ->
+    let inst = build ?constants ~prng net in
+    charge_instance acc net;
+    (inst, laplacian_normal_solver ~accountant:acc inst)
+  in
   let mm =
     float_of_int (Stdlib.max (Network.max_capacity net) (Network.max_cost net))
   in
   let eps = match eps with Some e -> e | None -> 1.0 /. (12.0 *. mm) in
   let x_lp, trace =
-    Rounds.with_phase acc "mcmf" @@ fun () ->
     Ipm.lp_solve ~accountant:acc ~config ~prng ~problem:inst.problem ~solver
       ~x0:inst.x0 ~eps ()
   in

@@ -52,7 +52,11 @@ val laplacian_normal_solver :
     paper's reduction to a Laplacian on the doubled virtual graph;
     [`Direct] (default) factors the SDD matrix itself, which is the same
     system but numerically robust to the extreme diagonal ranges of late
-    IPM iterates (the doubling squares the conditioning gap). *)
+    IPM iterates (the doubling squares the conditioning gap).
+
+    The returned operator is {e prepared}: its normal-matrix and diagonal
+    workspaces are allocated once here and reused by every solve, and it
+    must therefore be driven sequentially (the IPM does). *)
 
 val extract : instance -> Vec.t -> float array * float
 (** [(arc flows, F)] components of an LP point. *)
@@ -82,4 +86,7 @@ val solve :
   solve_result
 (** End-to-end Theorem 1.1: build the LP, run [LPSolve] with the
     Laplacian-backed normal solver, round, validate, and compare with the
-    combinatorial baseline. *)
+    combinatorial baseline.  Accounting follows the prepare/query split:
+    one [mcmf/prepare/*] phase (instance broadcast + operator setup) paid
+    before the IPM starts, then [mcmf/ipm/query/normal-solve] charges per
+    iteration. *)

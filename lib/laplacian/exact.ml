@@ -83,6 +83,20 @@ let solve_into t b x =
           done)
     t.blocks
 
+let clone_scratch t =
+  {
+    t with
+    blocks =
+      List.map
+        (fun b ->
+          {
+            b with
+            rhs_buf = Array.make (Array.length b.rhs_buf) 0.0;
+            sol_buf = Array.make (Array.length b.sol_buf) 0.0;
+          })
+        t.blocks;
+  }
+
 let solve t b =
   let x = Array.make t.n 0.0 in
   solve_into t b x;

@@ -28,6 +28,11 @@ val solve_into : t -> Vec.t -> Vec.t -> unit
     held in [t]: allocation-free, but not reentrant — do not share one
     factorization across concurrent solves.  [x] must not alias [b]. *)
 
+val clone_scratch : t -> t
+(** A handle sharing the (read-only) factorizations of [t] but carrying
+    fresh scratch buffers, so clones may solve concurrently — the batched
+    multi-RHS path hands one clone to each worker lane. *)
+
 val solve_graph : Graph.t -> Vec.t -> Vec.t
 (** One-shot [factor] + [solve]. *)
 

@@ -21,10 +21,22 @@ type solve_result = {
   solution : Vec.t;
   iterations : int;
   rounds : int;
+  bits : int;
   residual : float;
 }
 
-let preprocess ?accountant ?t ?t_scale ?k ?certify ~prng ~graph () =
+type workspace = { h_scratch : Exact.t; centered : Vec.t }
+
+(* Nest [with_phase] for each label in order, so callers can relabel the
+   accountant paths ("solve/preprocess" by default, "prepare" for the
+   service layer) without touching the charges themselves. *)
+let rec with_phases acc phases f =
+  match phases with
+  | [] -> f ()
+  | p :: rest -> Rounds.with_phase acc p (fun () -> with_phases acc rest f)
+
+let preprocess ?accountant ?(phases = [ "solve"; "preprocess" ]) ?t ?t_scale ?k
+    ?certify ~prng ~graph () =
   if not (Graph.is_connected graph) then
     invalid_arg "Solver.preprocess: graph must be connected";
   let n = Graph.n graph in
@@ -33,8 +45,7 @@ let preprocess ?accountant ?t ?t_scale ?k ?certify ~prng ~graph () =
     match accountant with Some a -> a | None -> Rounds.create ~bandwidth
   in
   let start = Rounds.checkpoint acc in
-  Rounds.with_phase acc "solve" @@ fun () ->
-  Rounds.with_phase acc "preprocess" @@ fun () ->
+  with_phases acc phases @@ fun () ->
   let sp =
     Sparsify.run ~accountant:acc ?t ?t_scale ?k ~prng ~graph ~epsilon:0.5 ()
   in
@@ -77,15 +88,30 @@ let sparsifier t = t.sparsifier
 let kappa t = t.kappa
 let preprocessing_rounds t = t.preprocessing_rounds
 
-let solve ?accountant t ~b ~eps =
+let workspace t =
+  {
+    h_scratch = Exact.clone_scratch t.h_factor;
+    centered = Vec.zeros (Graph.n t.graph);
+  }
+
+let solve ?accountant ?(phases = [ "solve" ]) ?workspace t ~b ~eps =
   if eps <= 0.0 then invalid_arg "Solver.solve: eps must be positive";
+  let ws =
+    match workspace with
+    | Some w ->
+        if Vec.dim w.centered <> Graph.n t.graph then
+          invalid_arg "Solver.solve: workspace dimension mismatch";
+        w
+    | None -> { h_scratch = t.h_factor; centered = Vec.zeros (Graph.n t.graph) }
+  in
   let acc =
     match accountant with
     | Some a -> a
     | None -> Rounds.create ~bandwidth:t.bandwidth
   in
   let start = Rounds.checkpoint acc in
-  Rounds.with_phase acc "solve" @@ fun () ->
+  let start_bits = Rounds.checkpoint_bits acc in
+  with_phases acc phases @@ fun () ->
   (* Each Chebyshev iteration: one distributed L_G-matvec (a vector
      exchange: every vertex broadcasts its O(log(nU/eps))-bit coordinate)
      and one vertex-internal L_H solve (free). *)
@@ -100,12 +126,12 @@ let solve ?accountant t ~b ~eps =
   (* B = lambda_max * L_H; solving B z = r needs zero-sum r: residuals of
      Laplacian systems with zero-sum b stay zero-sum. *)
   let solve_b r =
-    Vec.scale (1.0 /. t.lambda_max) (Exact.solve t.h_factor (Vec.mean_center r))
+    Vec.scale (1.0 /. t.lambda_max)
+      (Exact.solve ws.h_scratch (Vec.mean_center r))
   in
-  let centered = Vec.zeros (Graph.n t.graph) in
   let solve_b_into r z =
-    Vec.mean_center_into r centered;
-    Exact.solve_into t.h_factor centered z;
+    Vec.mean_center_into r ws.centered;
+    Exact.solve_into ws.h_scratch ws.centered z;
     Vec.scale_into (1.0 /. t.lambda_max) z z
   in
   let result =
@@ -116,6 +142,7 @@ let solve ?accountant t ~b ~eps =
     solution = result.Chebyshev.solution;
     iterations = result.Chebyshev.iterations;
     rounds = Rounds.checkpoint acc - start;
+    bits = Rounds.checkpoint_bits acc - start_bits;
     residual = Exact.residual t.graph ~x:result.Chebyshev.solution ~b;
   }
 

@@ -23,11 +23,22 @@ type solve_result = {
   solution : Vec.t;
   iterations : int;
   rounds : int;  (** rounds charged for this solve *)
+  bits : int;  (** bits charged for this solve *)
   residual : float;  (** measured [||b - L_G y||_2 / ||b||_2] *)
 }
 
+type workspace
+(** Per-lane scratch (preconditioner scratch buffers + a centering vector)
+    for reentrant solves: the solver handle itself is immutable, but the
+    default solve path reuses internal buffers, so concurrent solves on one
+    handle must each pass their own [workspace]. *)
+
+val workspace : t -> workspace
+(** Fresh scratch for [t]; shares the (read-only) factorizations. *)
+
 val preprocess :
   ?accountant:Lbcc_net.Rounds.t ->
+  ?phases:string list ->
   ?t:int ->
   ?t_scale:float ->
   ?k:int ->
@@ -39,7 +50,9 @@ val preprocess :
 (** Sparsify, factor [L_H], certify [kappa].  [certify] selects the exact
     eigen certificate (default for [n <= 400]), power iteration on the
     pencil (default above, tight and [O(n^3)]-free per step), or cheap
-    randomized probing.
+    randomized probing.  [phases] relabels the accountant phase nesting for
+    the charges (default [["solve"; "preprocess"]]; the service layer passes
+    [["prepare"]]).
     @raise Invalid_argument if [graph] is not connected. *)
 
 val graph : t -> Graph.t
@@ -48,10 +61,20 @@ val kappa : t -> float
 val preprocessing_rounds : t -> int
 
 val solve :
-  ?accountant:Lbcc_net.Rounds.t -> t -> b:Vec.t -> eps:float -> solve_result
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?phases:string list ->
+  ?workspace:workspace ->
+  t ->
+  b:Vec.t ->
+  eps:float ->
+  solve_result
 (** [solve t ~b ~eps] returns [y] with [||x - y||_{L_G} <= eps ||x||_{L_G}]
     for the true solution [x] (guaranteed by the Chebyshev bound with the
-    certified [kappa]).  [b] must have zero sum. *)
+    certified [kappa]).  [b] must have zero sum.  [phases] relabels the
+    accountant phase nesting (default [["solve"]]; the service layer passes
+    [["query"]]).  Pass a distinct [workspace] per lane to run concurrent
+    solves on one handle; results are identical either way (the iteration
+    count is a function of [(kappa, eps)] alone). *)
 
 val solve_exact_fallback : t -> b:Vec.t -> Vec.t
 (** Direct dense solve of [L_G x = b], for reference comparisons. *)

@@ -38,6 +38,7 @@ let of_arrays rows_arr =
 
 let to_arrays m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
 
+let fill m v = Array.fill m.a 0 (m.r * m.c) v
 let copy m = { m with a = Array.copy m.a }
 
 let transpose m = init m.c m.r (fun i j -> get m j i)

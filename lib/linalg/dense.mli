@@ -22,6 +22,11 @@ val set : t -> int -> int -> float -> unit
 val add_entry : t -> int -> int -> float -> unit
 val copy : t -> t
 
+val fill : t -> float -> unit
+(** [fill m v] sets every entry of [m] to [v] in place — lets hot loops
+    (the IPM normal-matrix assembly) reuse one buffer instead of
+    reallocating per call. *)
+
 val transpose : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t

@@ -54,9 +54,13 @@ let p_lewis m = 1.0 -. (1.0 /. log (4.0 *. float_of_int m))
 let c_k m = 2.0 *. log (4.0 *. float_of_int m)
 let c_norm m = 24.0 *. sqrt 4.0 *. c_k m
 
+(* Normal solves are the IPM's query-phase cost: the operator itself was
+   prepared once by the caller (instance broadcast + solver workspaces), so
+   the label mirrors the solver service's prepare/query split. *)
 let charge_solver acc (solver : Problem.normal_solver) =
   match acc with
-  | Some a -> Rounds.charge a ~label:"ipm-normal-solve" ~rounds:solver.Problem.rounds
+  | Some a ->
+      Rounds.charge a ~label:"query/normal-solve" ~rounds:solver.Problem.rounds
   | None -> ()
 
 let charge_vector acc label =

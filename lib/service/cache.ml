@@ -1,0 +1,95 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type 'v entry = { value : 'v; mutable tick : int }
+
+type 'v t = {
+  table : (string, 'v entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int; (* monotone recency counter *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 8) () =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    table = Hashtbl.create (max 1 capacity);
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.tick -> acc
+        | _ -> Some (key, e.tick))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  if t.capacity > 0 then begin
+    if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
+    then evict_lru t;
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.table key { value; tick = t.clock }
+  end
+
+let find_or_add t key build =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+      let v = build () in
+      add t key v;
+      (v, false)
+
+let remove t key = Hashtbl.remove t.table key
+
+let clear t = Hashtbl.reset t.table
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    size = size t;
+    capacity = t.capacity;
+  }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,40 @@
+(** Run context: the seed / tracer / metrics triple that every front-door
+    entry point needs.
+
+    Historically each of [Lbcc.sparsify], [Lbcc.solve_laplacian], … grew the
+    same three optional labels ([?seed ?tracer ?metrics]) independently —
+    and [effective_resistance] forgot two of them.  A [Ctx.t] packages the
+    triple once so callers configure a run in one place and pass the same
+    context to every entry point (and to {!Prepared.create}). *)
+
+type t = {
+  seed : int;  (** shared randomness for the simulated clique *)
+  tracer : Lbcc_obs.Trace.t option;  (** span tree sink, when tracing *)
+  metrics : Lbcc_obs.Metrics.t option;  (** counter/histogram registry *)
+}
+
+val default : t
+(** [{ seed = 1; tracer = None; metrics = None }] — seed 1 is the
+    historical default of the [Lbcc] entry points, kept so migrating to
+    [?ctx] never changes a call's output. *)
+
+val make :
+  ?seed:int -> ?tracer:Lbcc_obs.Trace.t -> ?metrics:Lbcc_obs.Metrics.t ->
+  unit -> t
+(** Explicit constructor; omitted fields take {!default}'s values. *)
+
+val resolve :
+  ?ctx:t ->
+  ?seed:int ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  unit ->
+  t
+(** Merge a context with the legacy per-call optional labels: start from
+    [ctx] (or {!default}) and let any explicitly passed legacy label
+    override the corresponding field.  This is what lets the deprecated
+    [?seed/?tracer/?metrics] arguments keep working during migration. *)
+
+val with_seed : t -> int -> t
+(** [with_seed ctx s] is [ctx] with the seed replaced — handy for retry
+    loops that reseed each attempt. *)

@@ -1,0 +1,28 @@
+module Graph = Lbcc_graph.Graph
+
+(* FNV-1a, 64-bit: h := (h lxor byte) * prime, folding in one byte at a
+   time so the hash depends on every bit of every field. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix_int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (shift * 8)) land 0xff in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let mix_int h v = mix_int64 h (Int64.of_int v)
+
+let graph g =
+  let h = ref (mix_int (mix_int fnv_offset (Graph.n g)) (Graph.m g)) in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      h := mix_int !h e.u;
+      h := mix_int !h e.v;
+      h := mix_int64 !h (Int64.bits_of_float e.w))
+    (Graph.edges g);
+  !h
+
+let to_hex v = Printf.sprintf "%016Lx" v

@@ -1,0 +1,15 @@
+(** Structural graph fingerprints for the prepared-handle cache.
+
+    Two graphs with the same vertex count and the same edge list (same
+    endpoints, same IEEE weight bits, same order) get the same fingerprint;
+    any mutation — reweighting an edge, adding or dropping one — changes it
+    with overwhelming probability.  FNV-1a over 64 bits: cheap ([O(m)]),
+    deterministic across runs, and collision-safe at cache scale (a handful
+    of live graphs, not adversarial input). *)
+
+val graph : Lbcc_graph.Graph.t -> int64
+(** Fingerprint of [n] plus the full edge list (endpoints and weight
+    bit patterns). *)
+
+val to_hex : int64 -> string
+(** 16-digit lowercase hex, for cache keys and log lines. *)

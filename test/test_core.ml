@@ -48,17 +48,24 @@ let test_effective_resistance_parallel_edges_law () =
       (Graph.create ~n:2
          [ { Graph.u = 0; v = 1; w = 2.0 }; { u = 0; v = 1; w = 3.0 } ])
   in
+  let r = Lbcc.effective_resistance g ~s:0 ~t:1 in
   Alcotest.(check (float 1e-9)) "parallel conductances" (1.0 /. 5.0)
-    (Lbcc.effective_resistance g ~s:0 ~t:1)
+    r.Lbcc.resistance;
+  (* The bugfixed API reports accounting instead of discarding it. *)
+  Alcotest.(check bool) "query rounds tracked" true (r.Lbcc.query_rounds > 0);
+  Alcotest.(check bool) "report sums" true
+    (r.Lbcc.rounds.Lbcc.total
+    = List.fold_left (fun a (_, r) -> a + r) 0 r.Lbcc.rounds.Lbcc.breakdown)
 
 let test_effective_resistance_symmetric () =
   let prng = Prng.create 6 in
   let g = Gen.erdos_renyi_connected prng ~n:20 ~p:0.3 ~w_max:4 in
   let r1 = Lbcc.effective_resistance ~seed:9 g ~s:2 ~t:11 in
   let r2 = Lbcc.effective_resistance ~seed:9 g ~s:11 ~t:2 in
-  Alcotest.(check (float 1e-9)) "symmetric" r1 r2;
+  Alcotest.(check (float 1e-9)) "symmetric" r1.Lbcc.resistance
+    r2.Lbcc.resistance;
   Alcotest.(check (float 1e-12)) "zero on self" 0.0
-    (Lbcc.effective_resistance g ~s:3 ~t:3)
+    (Lbcc.effective_resistance g ~s:3 ~t:3).Lbcc.resistance
 
 let test_min_cost_max_flow_report () =
   let net =

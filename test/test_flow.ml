@@ -373,7 +373,8 @@ let test_core_effective_resistance () =
       ]
   in
   let r = Lbcc_core.Lbcc.effective_resistance g ~s:0 ~t:3 in
-  Alcotest.(check (float 1e-6)) "series resistance" 3.0 r
+  Alcotest.(check (float 1e-6)) "series resistance" 3.0
+    r.Lbcc_core.Lbcc.resistance
 
 let suites =
   [
