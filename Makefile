@@ -1,14 +1,28 @@
 CLI := ./_build/default/bin/lbcc_cli.exe
+LINT := ./_build/default/bin/lbcc_lint.exe
 
-.PHONY: all build test smoke bench-smoke perf doc ci clean
+# Warnings are errors by default (the configuration CI enforces); set
+# LBCC_DEV=1 for a forgiving edit-compile loop where warnings only print.
+# The warning set itself is fixed in the root `dune` env stanza.
+DUNE_PROFILE := $(if $(LBCC_DEV),dev,strict)
+DUNE := dune build --profile $(DUNE_PROFILE)
+
+.PHONY: all build test lint smoke bench-smoke perf doc ci clean
 
 all: build
 
 build:
-	dune build
+	$(DUNE)
 
 test:
-	dune runtest
+	dune runtest --profile $(DUNE_PROFILE)
+
+# Static analysis (determinism / round-accounting / hygiene rules; see
+# DESIGN.md §8).  Writes the machine-readable report to lint.json and
+# exits nonzero on any error or — under --strict, which this target
+# uses — warning.
+lint: build
+	$(LINT) --strict --out lint.json lib bin bench examples
 
 # Fault-injection smoke run: the reliable-broadcast layer must reproduce the
 # lossless outputs under 20% drop + an injected crash, and the raw engine run
@@ -58,7 +72,7 @@ doc:
 	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
-ci: build test smoke
+ci: build test lint smoke
 
 clean:
 	dune clean

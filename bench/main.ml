@@ -9,6 +9,10 @@
    BENCH_<EXP>.json per experiment, schema documented in EXPERIMENTS.md):
 
      dune exec bench/main.exe -- E1 E5 E11 --json --out _reports
+
+   This harness measures wall-clock time by design (PERF experiments and
+   per-experiment progress lines); the waiver below acknowledges that.
+   lbcc-lint: allow-file det-wall-clock
 *)
 
 open Lbcc_util
@@ -994,7 +998,7 @@ let batch () =
     List.map
       (fun k ->
         let p = Prepared.create ~seed:5 g in
-        ignore (Prepared.solve_many ~eps p (rhs k));
+        ignore (Prepared.solve_many ~eps p (rhs k) : Prepared.query_result list);
         let amortized = Prepared.amortized_rounds_per_query p in
         let per_query = Prepared.query_rounds p / k in
         Printf.printf "%4d %12d %12d %14.1f\n" k
@@ -1054,7 +1058,7 @@ let batch () =
   let cache = Cache.create ~capacity:4 () in
   let reps = 4 in
   for _ = 1 to reps do
-    ignore (Prepared.create_cached ~cache ~seed:5 g)
+    ignore (Prepared.create_cached ~cache ~seed:5 g : Prepared.t * bool)
   done;
   let st = Cache.stats cache in
   let hit_rate =
@@ -1130,19 +1134,25 @@ let micro () =
         Test.make ~name:"spanner-n48"
           (Staged.stage (fun () ->
                let p = Array.make (Graph.m g) 1.0 in
-               ignore (Spanner.run ~prng:(Prng.create 7) ~graph:g ~p ~k:3 ())));
+               ignore
+                 (Spanner.run ~prng:(Prng.create 7) ~graph:g ~p ~k:3 ()
+                   : Spanner.result)));
         Test.make ~name:"sparsify-n48-t2"
           (Staged.stage (fun () ->
                ignore
-                 (Sparsify.run ~prng:(Prng.create 8) ~graph:g ~epsilon:0.5 ~t:2 ~k:3 ())));
+                 (Sparsify.run ~prng:(Prng.create 8) ~graph:g ~epsilon:0.5 ~t:2 ~k:3 ()
+                   : Sparsify.result)));
         Test.make ~name:"laplacian-solve-1e-8"
-          (Staged.stage (fun () -> ignore (Solver.solve solver ~b ~eps:1e-8)));
+          (Staged.stage (fun () ->
+               ignore (Solver.solve solver ~b ~eps:1e-8 : Solver.solve_result)));
         Test.make ~name:"mixed-ball-m1000"
-          (Staged.stage (fun () -> ignore (Mixed_ball.maximize ~a:a_ball ~l:l_ball ())));
+          (Staged.stage (fun () ->
+               ignore (Mixed_ball.maximize ~a:a_ball ~l:l_ball () : Mixed_ball.result)));
         Test.make ~name:"mcmf-baseline-n7"
-          (Staged.stage (fun () -> ignore (Mcmf.solve net)));
+          (Staged.stage (fun () -> ignore (Mcmf.solve net : Mcmf.result)));
         Test.make ~name:"mcmf-ipm-n7"
-          (Staged.stage (fun () -> ignore (Mcmf_lp.solve ~prng:(Prng.create 9) net)));
+          (Staged.stage (fun () ->
+               ignore (Mcmf_lp.solve ~prng:(Prng.create 9) net : Mcmf_lp.solve_result)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None () in
@@ -1189,7 +1199,9 @@ let usage () =
   prerr_endline
     "usage: main.exe [E1..E16|PERF|BATCH|micro]... [--json] [--out DIR]\n\
      --json writes one BENCH_<EXP>.json per selected experiment (micro has\n\
-     no report); --out selects the output directory (default: cwd).";
+     no report); --out selects the output directory (default: cwd).\n\
+     Exit codes: 0 all claims hold; 1 a claim left its bound; 2 usage;\n\
+     3 internal error.";
   exit 2
 
 let () =
@@ -1203,28 +1215,43 @@ let () =
   in
   let ids, json, out = parse [] false "." (List.tl (Array.to_list Sys.argv)) in
   let requested = if ids = [] then List.map fst all_experiments else ids in
-  Printf.printf "Laplacian paradigm in the BCC — experiment harness\n";
-  Printf.printf "experiments: %s\n" (String.concat " " requested);
-  let failures = ref [] in
+  (* Unknown experiment names are a usage error, detected before anything
+     runs so a typo cannot silently skip part of a sweep. *)
   List.iter
     (fun id ->
-      match List.assoc_opt id all_experiments with
-      | Some f ->
-          let t0 = Unix.gettimeofday () in
-          let r = f () in
-          (match r with
-          | Some r ->
-              if not (Report.all_within r) then failures := id :: !failures;
-              if json then
-                let path = Report.write ~dir:out r in
-                Printf.printf "[%s report: %s within_bound=%b]\n" id path
-                  (Report.all_within r)
-          | None -> ());
-          Printf.printf "[%s done in %.1fs]\n" id (Unix.gettimeofday () -. t0)
-      | None -> Printf.printf "unknown experiment %s\n" id)
+      if not (List.mem_assoc id all_experiments) then begin
+        Printf.eprintf "unknown experiment %s\n" id;
+        exit 2
+      end)
     requested;
-  match List.rev !failures with
+  Printf.printf "Laplacian paradigm in the BCC — experiment harness\n";
+  Printf.printf "experiments: %s\n" (String.concat " " requested);
+  let run_all () =
+    let failures = ref [] in
+    List.iter
+      (fun id ->
+        let f = List.assoc id all_experiments in
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (match r with
+        | Some r ->
+            if not (Report.all_within r) then failures := id :: !failures;
+            if json then
+              let path = Report.write ~dir:out r in
+              Printf.printf "[%s report: %s within_bound=%b]\n" id path
+                (Report.all_within r)
+        | None -> ());
+        Printf.printf "[%s done in %.1fs]\n" id (Unix.gettimeofday () -. t0))
+      requested;
+    List.rev !failures
+  in
+  (* Exit-code contract (DESIGN.md §8): 1 distinguishes "ran to completion
+     but a claim left its bound" from 3, "the harness itself failed". *)
+  match run_all () with
   | [] -> ()
   | bad ->
       Printf.printf "CLAIMS OUT OF BOUND: %s\n" (String.concat " " bad);
       exit 1
+  | exception e ->
+      Printf.eprintf "internal error: %s\n" (Printexc.to_string e);
+      exit 3

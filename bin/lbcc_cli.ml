@@ -233,7 +233,9 @@ let sparsify_cmd =
     Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
     match max_retries with
     | Some max_retries ->
-        ignore (make_obs ~trace ~json (Some max_retries));
+        ignore
+          (make_obs ~trace ~json (Some max_retries)
+            : Trace.t option * Metrics.t option);
         let o = Resilient.sparsify ~seed ~epsilon ?t ~max_retries g in
         pp_outcome "sparsify" o;
         Option.iter
@@ -318,7 +320,9 @@ let solve_cmd =
       let b = List.hd (make_rhs ~seed ~nv 1) in
       match max_retries with
       | Some max_retries ->
-          ignore (make_obs ~trace ~json (Some max_retries));
+          ignore
+          (make_obs ~trace ~json (Some max_retries)
+            : Trace.t option * Metrics.t option);
           let o = Resilient.solve_laplacian ~seed ~eps ~max_retries g ~b in
           pp_outcome "solve" o;
           Option.iter report o.Resilient.value
@@ -366,7 +370,12 @@ let prepare_cmd =
         (if hit then "cache hit" else "cache miss (ran preprocessing)");
       handle := Some p
     done;
-    let p = match !handle with Some p -> p | None -> assert false in
+    let p =
+      (* [repeat] is clamped to >= 1 above, so the loop body always ran. *)
+      match !handle with
+      | Some p -> p
+      | None -> failwith "lbcc prepare: internal error, no handle prepared"
+    in
     let solver = Lbcc.Prepared.solver p in
     Printf.printf
       "fingerprint: %s\n\
@@ -481,7 +490,9 @@ let flow_cmd =
     in
     match max_retries with
     | Some max_retries ->
-        ignore (make_obs ~trace ~json (Some max_retries));
+        ignore
+          (make_obs ~trace ~json (Some max_retries)
+            : Trace.t option * Metrics.t option);
         let o = Resilient.min_cost_max_flow ~seed ~max_retries net in
         pp_outcome "flow" o;
         Option.iter report o.Resilient.value
@@ -704,4 +715,13 @@ let main_cmd =
     [ sparsify_cmd; solve_cmd; prepare_cmd; spanner_cmd; flow_cmd; dist_cmd;
       gen_cmd; report_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit-code contract (DESIGN.md §8): 0 success; 1 a checked claim or report
+   validation failed (the [exit 1] calls inside the commands); 2 usage
+   error; 3 internal error.  Cmdliner reports usage problems as 123/124 and
+   uncaught exceptions as 125 — fold those into the contract. *)
+let () =
+  match Cmd.eval main_cmd with
+  | 0 -> exit 0
+  | 123 | 124 -> exit 2
+  | 125 -> exit 3
+  | n -> exit n

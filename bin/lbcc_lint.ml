@@ -1,0 +1,81 @@
+(* lbcc-lint — static analysis enforcing the determinism and round-accounting
+   discipline of the reproduction (see DESIGN.md §8 for the rule rationale).
+
+     lbcc_lint [--json] [--out FILE] [--root DIR] [--strict] [--list-rules]
+               PATH...
+
+   PATHs are files or directories, relative to --root (default: the current
+   directory); rule scoping keys off those relative paths, so run it from
+   the repository root (or point --root there).
+
+   Exit codes: 0 clean; 1 violations found (errors, plus warnings under
+   --strict); 2 usage or I/O error. *)
+
+let usage () =
+  prerr_endline
+    "usage: lbcc_lint [--json] [--out FILE] [--root DIR] [--strict] \
+     [--list-rules] PATH...\n\
+     --json prints the lbcc-lint/1 report to stdout (or to --out FILE);\n\
+     --strict makes warnings fail the run; --list-rules documents the rules.";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint_rules.rule) ->
+      Printf.printf "%-26s %-7s %s\n" r.Lint_rules.name
+        (Lint_diag.severity_to_string r.Lint_rules.severity)
+        r.Lint_rules.doc)
+    Lint_rules.rules;
+  exit 0
+
+let () =
+  let json = ref false and out = ref None and root = ref "." in
+  let strict = ref false and rev_paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | [ "--out" ] -> usage ()
+    | "--root" :: dir :: rest ->
+        root := dir;
+        parse rest
+    | [ "--root" ] -> usage ()
+    | "--strict" :: rest ->
+        strict := true;
+        parse rest
+    | "--list-rules" :: _ -> list_rules ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | p :: rest ->
+        rev_paths := p :: !rev_paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let json = !json and out = !out and root = !root and strict = !strict in
+  let paths = List.rev !rev_paths in
+  if paths = [] then usage ();
+  match Lint_driver.run ~root paths with
+  | exception Sys_error msg ->
+      Printf.eprintf "lbcc_lint: %s\n" msg;
+      exit 2
+  | result ->
+      let report = Lbcc_obs.Json.to_string ~pretty:true (Lint_driver.to_json result) in
+      (match out with
+      | Some file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc report;
+              output_char oc '\n')
+      | None -> ());
+      if json && out = None then print_endline report
+      else Lint_driver.render_text Format.std_formatter result;
+      let failing =
+        Lint_driver.errors result
+        + if strict then Lint_driver.warnings result else 0
+      in
+      exit (if failing > 0 then 1 else 0)

@@ -72,7 +72,7 @@ let () =
     let amortized =
       if Graph.is_connected !sketch then begin
         let p = Prepared.create ~seed:(200 + b) !sketch in
-        ignore (Prepared.solve_many p query_rhs);
+        ignore (Prepared.solve_many p query_rhs : Prepared.query_result list);
         Prepared.amortized_rounds_per_query p
       end
       else nan

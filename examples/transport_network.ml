@@ -7,7 +7,11 @@
    the classical successive-shortest-path baseline; the outputs must
    agree exactly.
 
-   Run with:  dune exec examples/transport_network.exe *)
+   Run with:  dune exec examples/transport_network.exe
+
+   The demo prints wall-clock timings for the two solvers, hence the
+   waiver below.
+   lbcc-lint: allow-file det-wall-clock *)
 
 open Lbcc_util
 module Network = Lbcc_flow.Network

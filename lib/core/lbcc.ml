@@ -4,7 +4,6 @@ module Network = Lbcc_flow.Network
 module Vec = Lbcc_linalg.Vec
 module Rounds = Lbcc_net.Rounds
 module Model = Lbcc_net.Model
-module Trace = Lbcc_obs.Trace
 module Metrics = Lbcc_obs.Metrics
 module Ctx = Lbcc_service.Ctx
 module Prepared = Lbcc_service.Prepared

@@ -144,7 +144,7 @@ let preferential_attachment prng ~n ~degree ~w_max =
       let t = !endpoint_arr.(Prng.int prng (Array.length !endpoint_arr)) in
       if not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
     done;
-    Hashtbl.iter
+    Tbl.iter_sorted ~compare:Int.compare
       (fun t () ->
         edges := { Graph.u = v; v = t; w = weight prng w_max } :: !edges;
         endpoints := v :: t :: !endpoints)

@@ -68,9 +68,13 @@ let coalesce g =
       let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
       Hashtbl.replace tbl key (prev +. e.w))
     g.edges;
+  let compare_key (u1, v1) (u2, v2) =
+    let c = Int.compare u1 u2 in
+    if c <> 0 then c else Int.compare v1 v2
+  in
   let edges =
-    Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
-    |> List.sort compare
+    Lbcc_util.Tbl.sorted_bindings ~compare:compare_key tbl
+    |> List.map (fun ((u, v), w) -> { u; v; w })
   in
   create ~n:g.n edges
 
@@ -151,14 +155,21 @@ let is_connected g = g.n <= 1 || snd (components g) = 1
 
 let canonical_edge e = if e.u <= e.v then (e.u, e.v, e.w) else (e.v, e.u, e.w)
 
+let compare_canonical (u1, v1, w1) (u2, v2, w2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare v1 v2 in
+    if c <> 0 then c else Float.compare w1 w2
+
 let equal_structure a b =
   a.n = b.n
   && m a = m b
   &&
   let ka = Array.map canonical_edge a.edges and kb = Array.map canonical_edge b.edges in
-  Array.sort compare ka;
-  Array.sort compare kb;
-  ka = kb
+  Array.sort compare_canonical ka;
+  Array.sort compare_canonical kb;
+  Array.for_all2 (fun x y -> compare_canonical x y = 0) ka kb
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);

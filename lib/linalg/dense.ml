@@ -73,6 +73,8 @@ let matmul x y =
       for i = lo to hi - 1 do
         for k = 0 to x.c - 1 do
           let xik = get x i k in
+          (* Exact zero-skip: an optimisation, not a tolerance test. *)
+          (* lbcc-lint: allow det-float-poly-compare *)
           if xik <> 0.0 then
             for j = 0 to y.c - 1 do
               add_entry z i j (xik *. get y k j)
@@ -105,6 +107,8 @@ let matvec_t m x =
   let y = Array.make m.c 0.0 in
   for i = 0 to m.r - 1 do
     let xi = x.(i) in
+    (* Exact zero-skip: an optimisation, not a tolerance test. *)
+    (* lbcc-lint: allow det-float-poly-compare *)
     if xi <> 0.0 then
       for j = 0 to m.c - 1 do
         y.(j) <- y.(j) +. (get m i j *. xi)

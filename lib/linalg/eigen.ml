@@ -56,7 +56,7 @@ let jacobi ?(max_sweeps = 100) ?(tol = 1e-12) a0 =
   let eigs = Dense.diag a in
   (* Sort ascending, permuting eigenvector columns along. *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare eigs.(i) eigs.(j)) order;
+  Array.sort (fun i j -> Float.compare eigs.(i) eigs.(j)) order;
   let sorted = Array.map (fun i -> eigs.(i)) order in
   let vecs = Dense.init n n (fun i j -> Dense.get v i order.(j)) in
   (sorted, vecs)

@@ -10,6 +10,12 @@ let rows m = m.r
 let cols m = m.c
 let nnz m = Array.length m.values
 
+(* Structural sparsity test: a stored entry is live iff it is not bitwise
+   zero.  Exact comparison is intended — this decides storage, not numeric
+   closeness — and the monomorphic annotation keeps the hot paths unboxed. *)
+(* lbcc-lint: allow det-float-poly-compare *)
+let nonzero (v : float) = v <> 0.0
+
 let of_triplets ~rows:r ~cols:c triplets =
   if r < 0 || c < 0 then invalid_arg "Sparse.of_triplets: negative dimension";
   List.iter
@@ -21,7 +27,8 @@ let of_triplets ~rows:r ~cols:c triplets =
   (* Sort by (row, col) and merge duplicates. *)
   let arr = Array.of_list triplets in
   Array.sort
-    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    (fun (i1, j1, _) (i2, j2, _) ->
+      if i1 <> i2 then Int.compare i1 i2 else Int.compare j1 j2)
     arr;
   let merged = ref [] and count = ref 0 in
   let n = Array.length arr in
@@ -38,7 +45,7 @@ let of_triplets ~rows:r ~cols:c triplets =
       v := !v +. x;
       incr k
     done;
-    if !v <> 0.0 then begin
+    if nonzero !v then begin
       merged := (i, j, !v) :: !merged;
       incr count
     end
@@ -63,7 +70,7 @@ let of_dense d =
   for i = Dense.rows d - 1 downto 0 do
     for j = Dense.cols d - 1 downto 0 do
       let v = Dense.get d i j in
-      if v <> 0.0 then triplets := (i, j, v) :: !triplets
+      if nonzero v then triplets := (i, j, v) :: !triplets
     done
   done;
   of_triplets ~rows:(Dense.rows d) ~cols:(Dense.cols d) !triplets
@@ -123,7 +130,7 @@ let matvec_t_into m x y =
   Array.fill y 0 (Array.length y) 0.0;
   for i = 0 to m.r - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then iter_row m i (fun j v -> y.(j) <- y.(j) +. (v *. xi))
+    if nonzero xi then iter_row m i (fun j v -> y.(j) <- y.(j) +. (v *. xi))
   done
 
 let matvec_t m x =
@@ -138,7 +145,7 @@ let matvec_t m x =
 let transpose m =
   let row_ptr = Array.make (m.c + 1) 0 in
   for k = 0 to Array.length m.values - 1 do
-    if m.values.(k) <> 0.0 then
+    if nonzero m.values.(k) then
       row_ptr.(m.col_idx.(k) + 1) <- row_ptr.(m.col_idx.(k) + 1) + 1
   done;
   for j = 1 to m.c do
@@ -150,7 +157,7 @@ let transpose m =
   for i = 0 to m.r - 1 do
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
       let v = m.values.(k) in
-      if v <> 0.0 then begin
+      if nonzero v then begin
         let j = m.col_idx.(k) in
         let pos = fill.(j) in
         fill.(j) <- pos + 1;
@@ -174,7 +181,7 @@ let add a b =
   let row_ptr = Array.make (a.r + 1) 0 in
   let k = ref 0 in
   let push j v =
-    if v <> 0.0 then begin
+    if nonzero v then begin
       col_idx.(!k) <- j;
       values.(!k) <- v;
       incr k
@@ -253,7 +260,7 @@ let gram a d =
   let g = Dense.create a.c a.c in
   for i = 0 to a.r - 1 do
     let di = d.(i) in
-    if di <> 0.0 then
+    if nonzero di then
       iter_row a i (fun j1 v1 ->
           iter_row a i (fun j2 v2 -> Dense.add_entry g j1 j2 (di *. v1 *. v2)))
   done;

@@ -1,0 +1,49 @@
+(* Diagnostics emitted by the lbcc-lint rules.  A diagnostic is anchored to
+   a file:line:col triple so editors and CI logs can jump to the offence;
+   the rule name doubles as the suppression key accepted by the waiver
+   comments that Lint_suppress scans for. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+(* Stable report order: file, then position, then rule name — so that two
+   runs over the same tree produce byte-identical output and CI can diff
+   lint.json across commits. *)
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Stdlib.Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Stdlib.Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" d.file d.line d.col
+    (severity_to_string d.severity)
+    d.rule d.message
+
+let to_json d =
+  Lbcc_obs.Json.Obj
+    [
+      ("rule", Lbcc_obs.Json.String d.rule);
+      ("severity", Lbcc_obs.Json.String (severity_to_string d.severity));
+      ("file", Lbcc_obs.Json.String d.file);
+      ("line", Lbcc_obs.Json.Int d.line);
+      ("col", Lbcc_obs.Json.Int d.col);
+      ("message", Lbcc_obs.Json.String d.message);
+    ]

@@ -1,0 +1,148 @@
+(* Driver: discover .ml files, parse them with compiler-libs, run the rule
+   pass, and render the diagnostics as text or as machine-readable JSON
+   (lbcc-lint/1) for CI to diff and archive. *)
+
+type result = {
+  root : string;
+  files : string list; (* root-relative, sorted *)
+  diags : Lint_diag.t list; (* sorted by file/position/rule *)
+}
+
+let errors r =
+  List.length
+    (List.filter (fun d -> d.Lint_diag.severity = Lint_diag.Error) r.diags)
+
+let warnings r =
+  List.length
+    (List.filter (fun d -> d.Lint_diag.severity = Lint_diag.Warning) r.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Discovery                                                           *)
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+(* _build, _opam, .git and friends are never part of the lint surface. *)
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '_' || name.[0] = '.')
+
+let join rel name = if rel = "" then name else rel ^ "/" ^ name
+
+let rec walk ~root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  if Sys.is_directory abs then
+    Array.fold_left
+      (fun acc name ->
+        if skip_dir name then acc else walk ~root (join rel name) acc)
+      acc
+      (Sys.readdir abs)
+  else if is_ml rel then rel :: acc
+  else acc
+
+let has_dot_slash p =
+  String.length p >= 2 && p.[0] = '.' && (p.[1] = '/' || p.[1] = '\\')
+
+let discover ~root paths =
+  let files =
+    List.fold_left
+      (fun acc p ->
+        let p =
+          (* Normalise "./lib" and trailing slashes so rule scoping sees
+             canonical "lib/..." paths. *)
+          let p = if has_dot_slash p then String.sub p 2 (String.length p - 2) else p in
+          if p <> "/" && Filename.check_suffix p "/" then
+            String.sub p 0 (String.length p - 1)
+          else p
+        in
+        if not (Sys.file_exists (Filename.concat root p)) then
+          raise (Sys_error (Printf.sprintf "%s: no such file or directory" p))
+        else walk ~root p acc)
+      [] paths
+  in
+  List.sort_uniq String.compare files
+
+(* ------------------------------------------------------------------ *)
+(* Per-file pass                                                       *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_error_diag ~path exn =
+  let line, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        ( loc.Location.loc_start.Lexing.pos_lnum,
+          Format.asprintf "%t" err.Location.main.Location.txt )
+    | _ -> (1, Printexc.to_string exn)
+  in
+  {
+    Lint_diag.rule = "parse-error";
+    severity = Lint_diag.Error;
+    file = path;
+    line;
+    col = 0;
+    message = Printf.sprintf "file does not parse: %s" msg;
+  }
+
+(* [path] is the root-relative path: it selects which rules apply and is
+   what appears in diagnostics.  [source] is the file contents, supplied by
+   the caller so tests can lint fixtures under a pretended path. *)
+let lint_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Location.input_name := path;
+  match Parse.implementation lexbuf with
+  | structure ->
+      let suppress = Lint_suppress.scan source in
+      Lint_rules.check ~path ~suppress structure
+  | exception exn -> [ parse_error_diag ~path exn ]
+
+let run ~root paths =
+  let files = discover ~root paths in
+  let diags =
+    List.concat_map
+      (fun rel -> lint_source ~path:rel (read_file (Filename.concat root rel)))
+      files
+  in
+  { root; files; diags = List.sort Lint_diag.compare_diag diags }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let render_text ppf r =
+  List.iter
+    (fun d -> Format.fprintf ppf "%s@." (Lint_diag.to_string d))
+    r.diags;
+  Format.fprintf ppf "lbcc-lint — %d file%s scanned, %d error%s, %d warning%s@."
+    (List.length r.files)
+    (if List.length r.files = 1 then "" else "s")
+    (errors r)
+    (if errors r = 1 then "" else "s")
+    (warnings r)
+    (if warnings r = 1 then "" else "s")
+
+let to_json r =
+  let open Lbcc_obs.Json in
+  Obj
+    [
+      ("schema", String "lbcc-lint/1");
+      ("root", String r.root);
+      ("files_scanned", Int (List.length r.files));
+      ("errors", Int (errors r));
+      ("warnings", Int (warnings r));
+      ("rules",
+       Arr
+         (List.map
+            (fun (rule : Lint_rules.rule) ->
+              Obj
+                [
+                  ("name", String rule.Lint_rules.name);
+                  ( "severity",
+                    String (Lint_diag.severity_to_string rule.Lint_rules.severity) );
+                ])
+            Lint_rules.rules));
+      ("diagnostics", Arr (List.map Lint_diag.to_json r.diags));
+    ]

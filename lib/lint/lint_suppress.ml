@@ -1,0 +1,100 @@
+(* Suppression comments.
+
+   A violation is acknowledged in source with a comment containing the
+   marker (the tool name followed by a colon), the word "allow", and one
+   or more rule names — placed on the same line as the offending
+   expression or on the line directly above it.  "allow-file" instead of
+   "allow" waives the named rules for the whole file (conventionally from
+   the header).  Rule names are the ones printed in diagnostics and by
+   [lbcc_lint --list-rules]; DESIGN.md §8 shows the concrete syntax.
+
+   The scanner works on raw source text rather than the parsetree because
+   the OCaml parser discards comments; a line-oriented scan is enough since
+   the directive grammar is deliberately one-line. *)
+
+type t = {
+  per_line : (int, string list) Hashtbl.t; (* line -> allowed rules *)
+  mutable file_wide : string list;
+  mutable malformed : int list; (* lines bearing an unparseable directive *)
+}
+
+(* Built by concatenation so this source file does not itself contain the
+   marker text (the scanner has no notion of string-literal context). *)
+let directive_re = "lbcc-lint" ^ ":"
+
+(* Split on blanks and commas, drop comment-closer tokens. *)
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None
+         else
+           (* A trailing "*)" glued to the last rule name. *)
+           let tok =
+             match String.index_opt tok '*' with
+             | Some i -> String.sub tok 0 i
+             | None -> tok
+           in
+           if tok = "" then None else Some tok)
+
+let find_directive line =
+  let n = String.length directive_re in
+  let len = String.length line in
+  let rec search i =
+    if i + n > len then None
+    else if String.sub line i n = directive_re then Some (i + n)
+    else search (i + 1)
+  in
+  search 0
+
+let scan source =
+  let t = { per_line = Hashtbl.create 8; file_wide = []; malformed = [] } in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_directive line with
+      | None -> ()
+      | Some start -> (
+          let rest = String.sub line start (String.length line - start) in
+          match tokens rest with
+          | "allow" :: (_ :: _ as rules) ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt t.per_line lineno)
+              in
+              Hashtbl.replace t.per_line lineno (prev @ rules)
+          | "allow-file" :: (_ :: _ as rules) ->
+              t.file_wide <- t.file_wide @ rules
+          | _ -> t.malformed <- lineno :: t.malformed))
+    lines;
+  t
+
+(* [line] is where the diagnostic fires; the waiver may sit on that line or
+   the one above (the idiomatic spot for a standalone comment). *)
+let active t ~rule ~line =
+  List.mem rule t.file_wide
+  || (match Hashtbl.find_opt t.per_line line with
+     | Some rules -> List.mem rule rules
+     | None -> false)
+  ||
+  match Hashtbl.find_opt t.per_line (line - 1) with
+  | Some rules -> List.mem rule rules
+  | None -> false
+
+let malformed_lines t = List.rev t.malformed
+
+(* Every (line, rule) mention, for validating that waivers reference real
+   rules.  File-wide waivers are reported at line 0.  Sorted so the caller's
+   diagnostics come out in a stable order. *)
+let mentioned_rules t =
+  let per_line =
+    Hashtbl.fold
+      (fun line rules acc -> List.map (fun r -> (line, r)) rules @ acc)
+      t.per_line []
+  in
+  List.map (fun r -> (0, r)) t.file_wide @ per_line
+  |> List.sort (fun (l1, r1) (l2, r2) ->
+         let c = Stdlib.Int.compare l1 l2 in
+         if c <> 0 then c else String.compare r1 r2)

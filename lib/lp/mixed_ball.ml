@@ -35,7 +35,7 @@ let prepare ~a ~l =
     l;
   let order = Array.init m Fun.id in
   let ratio i = Float.abs a.(i) /. l.(i) in
-  Array.sort (fun i j -> compare (ratio j) (ratio i)) order;
+  Array.sort (fun i j -> Float.compare (ratio j) (ratio i)) order;
   let s_al = Array.make (m + 1) 0.0
   and s_l2 = Array.make (m + 1) 0.0
   and s_a2 = Array.make (m + 1) 0.0 in
@@ -169,5 +169,5 @@ let maximize ?accountant ~a ~l () =
   let around = List.init (!hi - !lo + 1) (fun d -> !lo + d) in
   let extra = [ 0; prep.m ] in
   best_result ?accountant ~a ~l ~prep ~evals
-    ~candidates:(List.sort_uniq compare (around @ extra))
+    ~candidates:(List.sort_uniq Int.compare (around @ extra))
     ()

@@ -78,7 +78,7 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
           Array.map
             (fun a ->
               let s = Array.copy a in
-              Array.sort Stdlib.compare s;
+              Array.sort Int.compare s;
               s)
             original
         in

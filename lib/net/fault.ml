@@ -63,7 +63,8 @@ let create ?(seed = 1) (s : spec) =
 let lossless () = create ~seed:0 (spec ())
 
 let is_lossless t =
-  t.drop_prob = 0.0 && t.duplicate_prob = 0.0
+  Float.equal t.drop_prob 0.0
+  && Float.equal t.duplicate_prob 0.0
   && Hashtbl.length t.crash_at = 0
   && t.adversarial_budget = 0
 

@@ -57,10 +57,9 @@ let barrier_met v =
     (waiting_on v)
 
 let inbox_of_got got =
-  Hashtbl.fold
-    (fun s p acc -> match p with Some m -> (s, m) :: acc | None -> acc)
-    got []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Lbcc_util.Tbl.sorted_bindings ~compare:Int.compare got
+  |> List.filter_map (fun (s, p) ->
+         match p with Some m -> Some (s, m) | None -> None)
 
 let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
     ?(on_timeout = `Truncate) ?(patience = 30) ?faults ~model ~graph ~size_bits
@@ -151,7 +150,7 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
       (v, Some pkt, not done_)
     end
     else begin
-      let acks = Hashtbl.fold (fun s _ acc -> s :: acc) v.got [] in
+      let acks = Lbcc_util.Tbl.sorted_keys ~compare:Int.compare v.got in
       let pkt =
         { vround = v.vround; payload = v.out; acks; halted = false }
       in
@@ -173,6 +172,8 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
   let globally_suspected = Hashtbl.create 8 in
   Array.iter
     (fun (v : _ vertex) ->
+      (* Set union: insertion order cannot affect the resulting key set. *)
+      (* lbcc-lint: allow det-unordered-hashtbl *)
       Hashtbl.iter (fun u () -> Hashtbl.replace globally_suspected u ()) v.suspected)
     vertices;
   let protocol_rounds = Stdlib.min virtual_supersteps stats.Engine.rounds in
@@ -203,7 +204,5 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
     virtual_supersteps;
     protocol_rounds;
     retransmit_rounds;
-    suspected =
-      Hashtbl.fold (fun u () acc -> u :: acc) globally_suspected []
-      |> List.sort_uniq compare;
+    suspected = Lbcc_util.Tbl.sorted_keys ~compare:Int.compare globally_suspected;
   }

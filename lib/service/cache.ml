@@ -47,6 +47,9 @@ let find t key =
 
 let evict_lru t =
   let victim =
+    (* Ticks come from a monotone counter, so the minimum is unique and the
+       fold's visit order cannot change which entry wins. *)
+    (* lbcc-lint: allow det-unordered-hashtbl *)
     Hashtbl.fold
       (fun key e acc ->
         match acc with

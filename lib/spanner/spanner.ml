@@ -89,7 +89,14 @@ let connect sim vx candidates =
   let weighted =
     List.map (fun (u, e) -> ((Graph.edge sim.graph e).w, u, e)) candidates
   in
-  let sorted = List.sort compare weighted in
+  let compare_cand (w1, u1, e1) (w2, u2, e2) =
+    let c = Float.compare w1 w2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare u1 u2 in
+      if c <> 0 then c else Int.compare e1 e2
+  in
+  let sorted = List.sort compare_cand weighted in
   let rec go = function
     | [] -> None
     | (w, u, e) :: rest ->
@@ -219,8 +226,8 @@ let candidates_by_cluster sim vx ~select =
             Hashtbl.replace groups x ((u, e) :: prev)
         | _ -> ())
     (Graph.neighbors sim.graph vx.id);
-  Hashtbl.fold (fun x members acc -> (x, members) :: acc) groups []
-  |> List.sort compare
+  (* Keys are distinct cluster ids, so key order alone fixes the output. *)
+  Tbl.sorted_bindings ~compare:Int.compare groups
 
 let phase_info_broadcast sim =
   let outgoing =
@@ -362,7 +369,9 @@ let run ?accountant ~prng ~graph ~p ~k () =
                   let target =
                     match Hashtbl.find_opt vx.neighbor_cluster e with
                     | Some (Some x) -> x
-                    | Some None | None -> assert false
+                    | Some None | None ->
+                        failwith
+                          "Spanner.connect: chosen edge lost its cluster label"
                   in
                   joins.(vx.id) <- Some (target, e);
                   Some (Join { cluster = target; via; w })

@@ -49,11 +49,11 @@ let run ?k ?t ?t_scale ?iterations ~prng ~graph ~epsilon () =
             next := e :: !next
           end)
       !current;
-    current := List.sort compare !next
+    current := List.sort Int.compare !next
   done;
   (* Algorithm 4 returns E_{⌈log m⌉} = B_last ∪ the edges sampled alive in
      the last iteration. *)
-  let edge_origin = Array.of_list (List.sort compare !current) in
+  let edge_origin = Array.of_list (List.sort Int.compare !current) in
   let edges =
     Array.map
       (fun e ->

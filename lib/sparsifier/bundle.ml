@@ -41,8 +41,8 @@ let run ?accountant ~prng ~graph ~p ~k ~t () =
       r.Spanner.fminus
   done;
   {
-    bundle = List.sort compare !bundle;
-    rejected = List.sort compare !rejected;
+    bundle = List.sort Int.compare !bundle;
+    rejected = List.sort Int.compare !rejected;
     orientations = !orientations;
     rounds = !rounds;
   }

@@ -158,7 +158,8 @@ let run_chunks t ~nchunks work =
       let c = Atomic.fetch_and_add next 1 in
       if c < nchunks && Atomic.get failure = None then begin
         (try work c
-         with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e) : bool));
         grab ()
       end
     in

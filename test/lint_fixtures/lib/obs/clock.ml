@@ -1,0 +1,3 @@
+(* Fixture: lib/obs owns the clock, so wall-clock reads are in policy. *)
+
+let now () = Unix.gettimeofday ()

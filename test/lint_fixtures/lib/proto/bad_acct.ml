@@ -1,0 +1,3 @@
+(* Fixture: a broadcast primitive with no accountant lexically in scope. *)
+
+let leak t = Rounds.charge_broadcast t ~label:"leak" ~bits:1

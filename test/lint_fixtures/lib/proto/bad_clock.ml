@@ -1,0 +1,5 @@
+(* Fixture: wall-clock reads in a protocol module. *)
+
+let cpu () = Sys.time ()
+
+let wall () = Unix.gettimeofday ()

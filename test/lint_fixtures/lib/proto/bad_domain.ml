@@ -1,0 +1,3 @@
+(* Fixture: raw domain spawn outside the worker pool. *)
+
+let fire work = Domain.spawn (fun () -> work ())

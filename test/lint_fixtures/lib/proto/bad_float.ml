@@ -1,0 +1,5 @@
+(* Fixture: polymorphic comparison over float-carrying values. *)
+
+let is_zero (x : float) = x = 0.0
+
+let order xs = List.sort compare xs

@@ -1,0 +1,8 @@
+(* Fixture: hash-bucket-order iteration in a protocol module. *)
+
+let keys tbl =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;
+  !acc
+
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

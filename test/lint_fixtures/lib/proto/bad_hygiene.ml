@@ -1,0 +1,7 @@
+(* Fixture: hygiene violations — magic, unannotated ignore, bare assert. *)
+
+let coerce x = Obj.magic x
+
+let drop f x = ignore (f x)
+
+let unreachable () = assert false

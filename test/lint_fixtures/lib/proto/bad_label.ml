@@ -1,0 +1,7 @@
+(* Fixture: accounted calls whose labels leave the documented taxonomy. *)
+
+let f acc = Rounds.charge acc ~label:"bogus/thing" ~rounds:1
+
+let g acc = Rounds.with_phase acc "warmup" (fun () -> ())
+
+let h acc = Rounds.charge acc ~label:"Not_Kebab" ~rounds:1

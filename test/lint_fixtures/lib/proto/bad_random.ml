@@ -1,0 +1,5 @@
+(* Fixture: ambient Stdlib Random in a protocol module. *)
+
+let roll () = Random.int 6
+
+let seed_it () = Random.self_init ()

@@ -1,0 +1,5 @@
+(* Fixture: broken suppression directives.
+   lbcc-lint: pardon det-wall-clock
+   lbcc-lint: allow no-such-rule *)
+
+let fine = 1

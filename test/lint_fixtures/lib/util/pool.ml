@@ -1,0 +1,6 @@
+(* Fixture: lib/util/pool.ml is the one module allowed to spawn domains,
+   and lib/util may touch Stdlib Random (it owns the seeding). *)
+
+let lane work = Domain.spawn (fun () -> work ())
+
+let entropy () = Random.bits ()

@@ -1,0 +1,202 @@
+(* lbcc-lint: the rule pass itself.
+
+   Each rule is exercised positively (a seeded fixture under
+   [lint_fixtures/] must fire it) and negatively (the matching clean or
+   out-of-scope fixture must not), the suppression grammar is covered both
+   ways, and a smoke test lints the real source tree — which must be clean,
+   mirroring what `make lint` enforces in CI. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fixtures are linted under their fixture-relative path, so the rule
+   scoping (lib/proto vs lib/util vs lib/obs) applies as in the real tree. *)
+let lint_fixture rel =
+  Lint_driver.lint_source ~path:rel (read_file ("lint_fixtures/" ^ rel))
+
+let rules_fired rel = List.map (fun d -> d.Lint_diag.rule) (lint_fixture rel)
+
+let count rule rel =
+  List.length (List.filter (String.equal rule) (rules_fired rel))
+
+let check_fires rule ?(times = 1) rel () =
+  Alcotest.(check int)
+    (Printf.sprintf "%s fires %dx in %s" rule times rel)
+    times (count rule rel)
+
+let check_clean rel () =
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s is clean" rel)
+    [] (rules_fired rel)
+
+(* --------------------------------------------------------------------- *)
+(* Per-rule positives                                                     *)
+
+let positive_cases =
+  [
+    ("det-unseeded-random", 2, "lib/proto/bad_random.ml");
+    ("det-unordered-hashtbl", 2, "lib/proto/bad_hashtbl.ml");
+    ("det-wall-clock", 2, "lib/proto/bad_clock.ml");
+    ("det-raw-domain", 1, "lib/proto/bad_domain.ml");
+    ("det-float-poly-compare", 2, "lib/proto/bad_float.ml");
+    ("acct-unscoped-broadcast", 1, "lib/proto/bad_acct.ml");
+    ("acct-phase-taxonomy", 3, "lib/proto/bad_label.ml");
+    ("hyg-obj-magic", 1, "lib/proto/bad_hygiene.ml");
+    ("hyg-ignored-result", 1, "lib/proto/bad_hygiene.ml");
+    ("hyg-assert-false", 1, "lib/proto/bad_hygiene.ml");
+    ("lint-directive", 2, "lib/proto/bad_waiver.ml");
+  ]
+
+let positive_tests =
+  List.map
+    (fun (rule, times, rel) ->
+      Alcotest.test_case (rule ^ " fires") `Quick (check_fires rule ~times rel))
+    positive_cases
+
+(* --------------------------------------------------------------------- *)
+(* Negatives: clean protocol code, and containment-module scoping         *)
+
+let negative_tests =
+  [
+    Alcotest.test_case "clean protocol module" `Quick
+      (check_clean "lib/proto/good_protocol.ml");
+    Alcotest.test_case "pool.ml may spawn domains" `Quick
+      (check_clean "lib/util/pool.ml");
+    Alcotest.test_case "lib/obs may read the clock" `Quick
+      (check_clean "lib/obs/clock.ml");
+    Alcotest.test_case "scoping: same source, different path" `Quick (fun () ->
+        (* The clock fixture re-linted under a protocol path must fire: the
+           rule keys on the path, not the contents. *)
+        let source = read_file "lint_fixtures/lib/obs/clock.ml" in
+        let diags =
+          Lint_driver.lint_source ~path:"lib/proto/clock.ml" source
+        in
+        Alcotest.(check (list string))
+          "det-wall-clock fires outside lib/obs" [ "det-wall-clock" ]
+          (List.map (fun d -> d.Lint_diag.rule) diags));
+  ]
+
+(* --------------------------------------------------------------------- *)
+(* Suppression grammar                                                    *)
+
+let suppression_tests =
+  [
+    Alcotest.test_case "same-line and line-above waivers" `Quick (fun () ->
+        let src =
+          "let a () = Sys.time () (* lbcc-lint" ^ ": allow det-wall-clock *)\n"
+          ^ "(* lbcc-lint" ^ ": allow det-wall-clock *)\n"
+          ^ "let b () = Sys.time ()\n"
+        in
+        Alcotest.(check (list string))
+          "both waived" []
+          (List.map
+             (fun d -> d.Lint_diag.rule)
+             (Lint_driver.lint_source ~path:"lib/proto/x.ml" src)));
+    Alcotest.test_case "file-wide waiver" `Quick (fun () ->
+        let src =
+          "(* lbcc-lint" ^ ": allow-file det-wall-clock *)\n"
+          ^ "let a () = Sys.time ()\nlet b () = Unix.gettimeofday ()\n"
+        in
+        Alcotest.(check (list string))
+          "file-wide waiver covers both" []
+          (List.map
+             (fun d -> d.Lint_diag.rule)
+             (Lint_driver.lint_source ~path:"lib/proto/x.ml" src)));
+    Alcotest.test_case "waiver does not bleed to other rules" `Quick (fun () ->
+        let src =
+          "(* lbcc-lint" ^ ": allow det-wall-clock *)\n"
+          ^ "let a () = Random.bits ()\n"
+        in
+        Alcotest.(check (list string))
+          "random still fires" [ "det-unseeded-random" ]
+          (List.map
+             (fun d -> d.Lint_diag.rule)
+             (Lint_driver.lint_source ~path:"lib/proto/x.ml" src)));
+    Alcotest.test_case "parse error is reported, not raised" `Quick (fun () ->
+        let diags =
+          Lint_driver.lint_source ~path:"lib/proto/x.ml" "let let let"
+        in
+        Alcotest.(check (list string))
+          "parse-error diagnostic" [ "parse-error" ]
+          (List.map (fun d -> d.Lint_diag.rule) diags));
+  ]
+
+(* --------------------------------------------------------------------- *)
+(* Driver over the fixture tree, and the real tree                        *)
+
+let driver_tests =
+  [
+    Alcotest.test_case "fixture tree: error and warning totals" `Quick
+      (fun () ->
+        let r = Lint_driver.run ~root:"lint_fixtures" [ "lib" ] in
+        Alcotest.(check int) "files scanned" 12 (List.length r.Lint_driver.files);
+        Alcotest.(check int) "errors" 17 (Lint_driver.errors r);
+        Alcotest.(check int) "warnings" 1 (Lint_driver.warnings r));
+    Alcotest.test_case "report is valid JSON with stable totals" `Quick
+      (fun () ->
+        let r = Lint_driver.run ~root:"lint_fixtures" [ "lib" ] in
+        let j =
+          Lbcc_obs.Json.of_string
+            (Lbcc_obs.Json.to_string (Lint_driver.to_json r))
+        in
+        let member k =
+          match Lbcc_obs.Json.member k j with
+          | Some v -> v
+          | None -> Alcotest.failf "missing key %s" k
+        in
+        Alcotest.(check string)
+          "schema" "lbcc-lint/1"
+          (match member "schema" with
+          | Lbcc_obs.Json.String s -> s
+          | _ -> "not-a-string");
+        Alcotest.(check bool)
+          "diagnostics count matches"
+          true
+          (match member "diagnostics" with
+          | Lbcc_obs.Json.Arr l -> List.length l = 18
+          | _ -> false));
+  ]
+
+(* Walk up from the test's cwd (_build/default/test) to the repository
+   root and lint the real tree: it must be clean, like `make lint`.  Skip
+   silently when no repository root is reachable (e.g. an exported build
+   directory). *)
+let find_repo_root () =
+  let rec up dir n =
+    if n = 0 then None
+    else if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir ".git")
+      && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let smoke_tests =
+  [
+    Alcotest.test_case "real source tree lints clean" `Quick (fun () ->
+        match find_repo_root () with
+        | None -> () (* not running from a checkout; @lint covers CI *)
+        | Some root ->
+            let r =
+              Lint_driver.run ~root [ "lib"; "bin"; "bench"; "examples" ]
+            in
+            List.iter
+              (fun d -> Printf.printf "%s\n" (Lint_diag.to_string d))
+              r.Lint_driver.diags;
+            Alcotest.(check int) "errors" 0 (Lint_driver.errors r);
+            Alcotest.(check int) "warnings" 0 (Lint_driver.warnings r));
+  ]
+
+let suites =
+  [
+    ( "lint",
+      positive_tests @ negative_tests @ suppression_tests @ driver_tests
+      @ smoke_tests );
+  ]

@@ -4,5 +4,5 @@ let () =
    @ Test_net.suites @ Test_fault.suites @ Test_spanner.suites @ Test_sparsifier.suites
    @ Test_laplacian.suites @ Test_lp.suites @ Test_ipm.suites
    @ Test_flow.suites @ Test_dist.suites @ Test_io.suites @ Test_core.suites
-   @ Test_obs.suites @ Test_service.suites @ Test_determinism.suites
-   @ Test_conformance.suites)
+   @ Test_obs.suites @ Test_service.suites @ Test_lint.suites
+   @ Test_determinism.suites @ Test_conformance.suites)
