@@ -37,6 +37,11 @@ smoke: build
 	$(CLI) dist --algo bfs --raw --drop-prob 0.3 --fault-seed 2 \
 	  | grep -q 'converged='
 	$(CLI) sparsify --vertices 48 --max-retries 2 | grep -q 'verdict=ok'
+	$(CLI) dist --algo leader --model bcc --vertices 16 --byz-count 2 \
+	  --byz-prob 0.2 --reliability byzantine \
+	  | grep -q 'matches lossless run: true'
+	! $(CLI) dist --algo leader --model bcc --vertices 16 --byz-count 8 \
+	  --byz-prob 0.4 --reliability byzantine | grep -q 'quorum-failures=0'
 	@echo "smoke: OK"
 
 # Benchmark smoke: the whole unit suite re-run on a 2-domain worker pool
@@ -48,10 +53,10 @@ smoke: build
 bench-smoke: build
 	LBCC_DOMAINS=2 dune runtest --force
 	rm -rf _bench_reports && mkdir -p _bench_reports
-	dune exec bench/main.exe -- E1 E5 PERF BATCH --json --out _bench_reports
+	dune exec bench/main.exe -- E1 E5 BYZ PERF BATCH --json --out _bench_reports
 	$(CLI) report --validate _bench_reports/BENCH_E1.json \
-	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_PERF.json \
-	  _bench_reports/BENCH_BATCH.json
+	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_BYZ.json \
+	  _bench_reports/BENCH_PERF.json _bench_reports/BENCH_BATCH.json
 	@echo "bench-smoke: OK"
 
 # Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4

@@ -20,6 +20,8 @@ module Resilient = Lbcc_core.Resilient
 module Model = Lbcc_net.Model
 module Rounds = Lbcc_net.Rounds
 module Fault = Lbcc_net.Fault
+module Engine = Lbcc_net.Engine
+module Byzantine = Lbcc_net.Byzantine
 module Bfs = Lbcc_dist.Bfs
 module Sssp = Lbcc_dist.Sssp
 module Leader = Lbcc_dist.Leader
@@ -180,24 +182,83 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"SEED"
         ~doc:"Seed of the deterministic fault schedule.")
 
-let make_faults drop_prob dup_prob crashes fault_seed =
+let corrupt_prob_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "corrupt-prob" ] ~docv:"P"
+        ~doc:
+          "Per-delivery payload-corruption probability (seeded bit-flip \
+           fault injection).")
+
+let byz_count_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "byz-count" ] ~docv:"F"
+        ~doc:
+          "Make the first F vertices Byzantine: they equivocate — tamper \
+           each delivery independently per receiver — with probability \
+           $(b,--byz-prob).")
+
+let byz_prob_arg =
+  Arg.(
+    value
+    & opt float 0.15
+    & info [ "byz-prob" ] ~docv:"P"
+        ~doc:
+          "Per-delivery tamper probability of a Byzantine sender (only \
+           meaningful with $(b,--byz-count) > 0).")
+
+let make_faults drop_prob dup_prob crashes fault_seed corrupt_prob byz_count
+    byz_prob =
   let bad fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
   if drop_prob < 0.0 || drop_prob >= 1.0 then
     bad "--drop-prob must be in [0, 1) (got %g)" drop_prob
   else if dup_prob < 0.0 || dup_prob >= 1.0 then
     bad "--dup-prob must be in [0, 1) (got %g)" dup_prob
-  else if drop_prob = 0.0 && dup_prob = 0.0 && crashes = [] then Ok None
+  else if corrupt_prob < 0.0 || corrupt_prob >= 1.0 then
+    bad "--corrupt-prob must be in [0, 1) (got %g)" corrupt_prob
+  else if byz_prob < 0.0 || byz_prob >= 1.0 then
+    bad "--byz-prob must be in [0, 1) (got %g)" byz_prob
+  else if byz_count < 0 then bad "--byz-count must be >= 0 (got %d)" byz_count
+  else if
+    drop_prob = 0.0 && dup_prob = 0.0 && crashes = [] && corrupt_prob = 0.0
+    && byz_count = 0
+  then Ok None
   else
     Ok
       (Some
          (Fault.create ~seed:fault_seed
-            (Fault.spec ~drop_prob ~duplicate_prob:dup_prob ~crashes ())))
+            (Fault.spec ~drop_prob ~duplicate_prob:dup_prob ~crashes
+               ~corrupt_prob
+               ~byzantine:(List.init byz_count Fun.id)
+               ~byz_prob ())))
 
 let faults_term =
   Term.term_result
     Term.(
       const make_faults $ drop_prob_arg $ dup_prob_arg $ crash_arg
-      $ fault_seed_arg)
+      $ fault_seed_arg $ corrupt_prob_arg $ byz_count_arg $ byz_prob_arg)
+
+(* Pipeline commands cost (rather than simulate) a delivery tier: the
+   context's reliability field makes [Lbcc] surcharge every protocol round
+   with the tier's recovery overhead (DESIGN.md §9). *)
+let ctx_reliability_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", Model.None);
+             ("crash", Model.Crash_safe);
+             ("byzantine", Model.Byzantine_safe) ])
+        Model.None
+    & info [ "reliability" ] ~docv:"TIER"
+        ~doc:
+          "Delivery tier the run is costed under: none, crash \
+           (ack/retransmit) or byzantine (echo-quorum).  The reported \
+           rounds include the tier's per-superstep recovery overhead under \
+           its own label.")
 
 let max_retries_arg =
   let arg =
@@ -228,11 +289,13 @@ let sparsify_cmd =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Target spectral error.")
   in
   let t = Arg.(value & opt (some int) None & info [ "t"; "bundle" ] ~doc:"Bundle size override.") in
-  let run seed n family w_max epsilon t max_retries trace json =
+  let run seed n family w_max epsilon t max_retries reliability trace json =
     let g = make_graph family seed n w_max in
     Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
     match max_retries with
     | Some max_retries ->
+        if reliability <> Model.None then
+          prerr_endline "warning: --reliability is ignored with --max-retries";
         ignore
           (make_obs ~trace ~json (Some max_retries)
             : Trace.t option * Metrics.t option);
@@ -246,7 +309,7 @@ let sparsify_cmd =
           o.Resilient.value
     | None ->
         let tracer, metrics = make_obs ~trace ~json None in
-        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics ~reliability () in
         let r = Lbcc.sparsify ~ctx ~epsilon ?t g in
         Printf.printf "sparsifier: m=%d  certified eps=%.4f  max out-degree=%d\n"
           (Graph.m r.Lbcc.sparsifier) r.Lbcc.epsilon_achieved r.Lbcc.out_degree_max;
@@ -258,7 +321,7 @@ let sparsify_cmd =
     (with_domains
        Term.(
          const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ epsilon $ t
-         $ max_retries_arg $ trace_arg $ json_arg))
+         $ max_retries_arg $ ctx_reliability_arg $ trace_arg $ json_arg))
 
 (* Deterministic batch of zero-sum right-hand sides, all drawn from one
    stream so every b differs. *)
@@ -278,7 +341,7 @@ let solve_cmd =
              (preprocessing paid once, queries batched across the worker \
              domains).  K=1 uses the single-solve path.")
   in
-  let run seed n family w_max eps batch max_retries trace json =
+  let run seed n family w_max eps batch max_retries reliability trace json =
     let g = make_graph family seed n w_max in
     let nv = Graph.n g in
     Printf.printf "input: n=%d m=%d\n" nv (Graph.m g);
@@ -293,7 +356,7 @@ let solve_cmd =
       if max_retries <> None then
         prerr_endline "warning: --max-retries is ignored with --batch";
       let tracer, metrics = make_obs ~trace ~json None in
-      let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+      let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics ~reliability () in
       let p, hit = Lbcc.Prepared.create_cached ~ctx g in
       let qs = Lbcc.Prepared.solve_many ~eps p (make_rhs ~seed ~nv batch) in
       let worst =
@@ -320,6 +383,9 @@ let solve_cmd =
       let b = List.hd (make_rhs ~seed ~nv 1) in
       match max_retries with
       | Some max_retries ->
+          if reliability <> Model.None then
+            prerr_endline
+              "warning: --reliability is ignored with --max-retries";
           ignore
           (make_obs ~trace ~json (Some max_retries)
             : Trace.t option * Metrics.t option);
@@ -328,7 +394,7 @@ let solve_cmd =
           Option.iter report o.Resilient.value
       | None ->
           let tracer, metrics = make_obs ~trace ~json None in
-          let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+          let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics ~reliability () in
           report (Lbcc.solve_laplacian ~ctx ~eps g ~b);
           emit_obs ~trace ~json tracer metrics
     end
@@ -338,7 +404,7 @@ let solve_cmd =
     (with_domains
        Term.(
          const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ eps $ batch
-         $ max_retries_arg $ trace_arg $ json_arg))
+         $ max_retries_arg $ ctx_reliability_arg $ trace_arg $ json_arg))
 
 let prepare_cmd =
   let queries =
@@ -461,8 +527,8 @@ let flow_cmd =
       & info [ "output-dot" ] ~docv:"FILE"
           ~doc:"Write the network with the optimal flow as Graphviz DOT.")
   in
-  let run seed n density max_capacity max_cost input output_dot max_retries trace
-      json =
+  let run seed n density max_capacity max_cost input output_dot max_retries
+      reliability trace json =
     let net =
       match input with
       | Some path -> Lbcc_flow.Network_io.load path
@@ -490,6 +556,8 @@ let flow_cmd =
     in
     match max_retries with
     | Some max_retries ->
+        if reliability <> Model.None then
+          prerr_endline "warning: --reliability is ignored with --max-retries";
         ignore
           (make_obs ~trace ~json (Some max_retries)
             : Trace.t option * Metrics.t option);
@@ -498,7 +566,7 @@ let flow_cmd =
         Option.iter report o.Resilient.value
     | None ->
         let tracer, metrics = make_obs ~trace ~json None in
-        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics () in
+        let ctx = Lbcc.Ctx.make ~seed ?tracer ?metrics ~reliability () in
         report (Lbcc.min_cost_max_flow ~ctx net);
         emit_obs ~trace ~json tracer metrics
   in
@@ -507,7 +575,8 @@ let flow_cmd =
     (with_domains
        Term.(
          const run $ seed_arg $ n_arg $ density $ max_capacity $ max_cost $ input
-         $ output_dot $ max_retries_arg $ trace_arg $ json_arg))
+         $ output_dot $ max_retries_arg $ ctx_reliability_arg $ trace_arg
+         $ json_arg))
 
 let dist_cmd =
   let algo_arg =
@@ -549,27 +618,72 @@ let dist_cmd =
       & info [ "raw" ]
           ~doc:
             "Run the lossy engine directly instead of wrapping the protocol \
-             in the reliable-broadcast layer.")
+             in the reliable-broadcast layer (same as \
+             $(b,--reliability none)).")
   in
-  let run seed n family w_max algo model source patience raw faults =
+  let reliability_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("none", Model.None);
+                  ("crash", Model.Crash_safe);
+                  ("byzantine", Model.Byzantine_safe) ]))
+          None
+      & info [ "reliability" ] ~docv:"TIER"
+          ~doc:
+            "Delivery tier: none (raw engine), crash (ack/retransmit \
+             reliable broadcast) or byzantine (echo-quorum delivery \
+             tolerating f < n/3 equivocating vertices; needs \
+             $(b,--model bcc)).  Default: crash when faults are injected \
+             and $(b,--raw) is absent, else none.")
+  in
+  let run seed n family w_max algo model source patience raw reliability faults
+      =
     let g = make_graph family seed n w_max in
     let nv = Graph.n g in
     let source = if source < 0 || source >= nv then 0 else source in
-    Printf.printf "input: n=%d m=%d  model=%s\n" nv (Graph.m g) (Model.name model);
+    (* Legacy dispatch preserved: without an explicit tier, injected
+       faults select crash-safe recovery unless --raw opts out. *)
+    let tier =
+      match reliability with
+      | Some t -> t
+      | None -> if raw || faults = None then Model.None else Model.Crash_safe
+    in
+    if tier = Model.Byzantine_safe && model <> Model.broadcast_congested_clique
+    then begin
+      prerr_endline
+        "lbcc dist: --reliability byzantine needs the all-to-all broadcast \
+         model (--model bcc)";
+      exit 2
+    end;
+    Printf.printf "input: n=%d m=%d  model=%s  reliability=%s\n" nv (Graph.m g)
+      (Model.name model)
+      (Model.reliability_name tier);
     (match faults with
     | Some f -> Printf.printf "faults: %s\n" (Format.asprintf "%a" Fault.pp f)
     | None -> Printf.printf "faults: none\n");
     let acct = Rounds.create ~bandwidth:(Model.bandwidth ~n:nv) in
     (* Lossless baseline with the same protocol seed, for the recovery check. *)
-    let reliable = (not raw) && faults <> None in
+    let diag = ref Option.None in
     (match algo with
     | `Bfs ->
         let baseline = Bfs.run ~model ~graph:g ~source () in
         let r =
-          if reliable then
-            Bfs.run_reliable ~accountant:acct ?faults ?patience ~model ~graph:g
-              ~source ()
-          else Bfs.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+          match tier with
+          | Model.None ->
+              Bfs.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+          | Model.Crash_safe ->
+              Bfs.run_reliable ~accountant:acct ?faults ?patience ~model
+                ~graph:g ~source ()
+          | Model.Byzantine_safe ->
+              let r, d =
+                Bfs.run_byzantine ~accountant:acct ?faults ~model ~graph:g
+                  ~source ()
+              in
+              diag := Some d;
+              r
         in
         let reached =
           Array.fold_left (fun k d -> if d < max_int then k + 1 else k) 0 r.Bfs.dist
@@ -582,10 +696,19 @@ let dist_cmd =
     | `Sssp ->
         let baseline = Sssp.run ~model ~graph:g ~source () in
         let r =
-          if reliable then
-            Sssp.run_reliable ~accountant:acct ?faults ?patience ~model ~graph:g
-              ~source ()
-          else Sssp.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+          match tier with
+          | Model.None ->
+              Sssp.run ~accountant:acct ?faults ~model ~graph:g ~source ()
+          | Model.Crash_safe ->
+              Sssp.run_reliable ~accountant:acct ?faults ?patience ~model
+                ~graph:g ~source ()
+          | Model.Byzantine_safe ->
+              let r, d =
+                Sssp.run_byzantine ~accountant:acct ?faults ~model ~graph:g
+                  ~source ()
+              in
+              diag := Some d;
+              r
         in
         let reached =
           Array.fold_left
@@ -600,10 +723,17 @@ let dist_cmd =
     | `Leader ->
         let baseline = Leader.run ~model ~graph:g () in
         let r =
-          if reliable then
-            Leader.run_reliable ~accountant:acct ?faults ?patience ~model
-              ~graph:g ()
-          else Leader.run ~accountant:acct ?faults ~model ~graph:g ()
+          match tier with
+          | Model.None -> Leader.run ~accountant:acct ?faults ~model ~graph:g ()
+          | Model.Crash_safe ->
+              Leader.run_reliable ~accountant:acct ?faults ?patience ~model
+                ~graph:g ()
+          | Model.Byzantine_safe ->
+              let r, d =
+                Leader.run_byzantine ~accountant:acct ?faults ~model ~graph:g ()
+              in
+              diag := Some d;
+              r
         in
         Printf.printf
           "leader: elected %d  supersteps=%d  converged=%b\n\
@@ -614,7 +744,14 @@ let dist_cmd =
       (Rounds.bandwidth acct);
     List.iter
       (fun (label, rds) -> Printf.printf "  %-28s %d\n" label rds)
-      (Rounds.breakdown acct)
+      (Rounds.breakdown acct);
+    match !diag with
+    | Option.None -> ()
+    | Some d ->
+        Printf.printf "%s\n" (Format.asprintf "%a" Byzantine.Diag.pp d);
+        (* A violated quorum is a failed delivery claim: the adversary beat
+           the f < n/3 bound, detectably (DESIGN.md §8 exit contract). *)
+        if not (Byzantine.Diag.ok d) then exit 1
   in
   Cmd.v
     (Cmd.info "dist"
@@ -624,7 +761,8 @@ let dist_cmd =
     (with_domains
        Term.(
          const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ algo_arg
-         $ model_arg $ source_arg $ patience_arg $ raw_arg $ faults_term))
+         $ model_arg $ source_arg $ patience_arg $ raw_arg $ reliability_arg
+         $ faults_term))
 
 let gen_cmd =
   let kind =
@@ -717,10 +855,24 @@ let main_cmd =
 
 (* Exit-code contract (DESIGN.md §8): 0 success; 1 a checked claim or report
    validation failed (the [exit 1] calls inside the commands); 2 usage
-   error; 3 internal error.  Cmdliner reports usage problems as 123/124 and
-   uncaught exceptions as 125 — fold those into the contract. *)
+   error; 3 internal error.  Cmdliner reports usage problems as 123/124 —
+   fold those into the contract.  Exceptions are caught here (not by
+   cmdliner) so an engine timeout surfaces its coordinates — label,
+   superstep, round and active phase — before the process dies with 3. *)
 let () =
-  match Cmd.eval main_cmd with
+  match
+    try Cmd.eval ~catch:false main_cmd with
+    | Engine.Timeout { label; supersteps; rounds; phase } ->
+        Printf.eprintf
+          "lbcc: engine timeout under label %S after %d supersteps (%d \
+           rounds)%s\n"
+          label supersteps rounds
+          (if phase = "" then "" else Printf.sprintf " in phase %S" phase);
+        3
+    | e ->
+        Printf.eprintf "lbcc: internal error: %s\n" (Printexc.to_string e);
+        3
+  with
   | 0 -> exit 0
   | 123 | 124 -> exit 2
   | 125 -> exit 3

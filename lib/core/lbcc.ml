@@ -38,6 +38,25 @@ let fresh_accountant ?tracer ~n () =
   Rounds.set_tracer acc tracer;
   acc
 
+(* Reliability surcharge (DESIGN.md §9): the pipeline's bespoke superstep
+   drivers run on the raw engine, so a delivery tier is costed, not
+   simulated — every round the protocol spent is multiplied by the tier's
+   per-superstep cycle overhead.  Crash_safe doubles each superstep (an
+   ack/retransmit window, matching {!Lbcc_net.Reliable}'s 2-superstep
+   virtual round); Byzantine_safe runs the 6-superstep echo-quorum cycle of
+   {!Lbcc_net.Byzantine} at its default [retries = 1], i.e. 5 extra rounds
+   per protocol round.  The overhead lands under the tier's own label so
+   reports stay comparable across tiers. *)
+let reliability_surcharge acc reliability =
+  let extra, label =
+    match reliability with
+    | Model.None -> (0, "")
+    | Model.Crash_safe -> (1, "retransmit")
+    | Model.Byzantine_safe -> (5, "byz-echo")
+  in
+  if extra > 0 then
+    Rounds.charge acc ~label ~rounds:(extra * Rounds.rounds acc)
+
 let observe_run ?metrics ~op acc =
   Metrics.inc metrics (op ^ ".calls");
   Metrics.inc metrics ~by:(Rounds.rounds acc) "rounds.total";
@@ -66,6 +85,7 @@ let sparsify ?ctx ?seed ?(epsilon = 0.5) ?t ?tracer ?metrics g =
   in
   let out_deg = Lbcc_sparsifier.Sparsify.out_degrees r in
   let out_degree_max = Array.fold_left Stdlib.max 0 out_deg in
+  reliability_surcharge acc c.Ctx.reliability;
   observe_run ?metrics ~op:"sparsify" acc;
   Metrics.set_gauge metrics "sparsify.epsilon_achieved"
     cert.Lbcc_sparsifier.Certify.epsilon_achieved;
@@ -101,6 +121,7 @@ let solve_laplacian ?ctx ?seed ?(eps = 1e-8) ?tracer ?metrics g ~b =
   if not hit then mirror_prepare acc p;
   let q = Prepared.solve ~accountant:acc ~eps p ~b in
   let metrics = c.Ctx.metrics in
+  reliability_surcharge acc c.Ctx.reliability;
   observe_run ?metrics ~op:"solve" acc;
   Metrics.set_gauge metrics "solve.residual" q.Prepared.residual;
   Metrics.set_gauge metrics "solve.iterations"
@@ -128,6 +149,7 @@ let min_cost_max_flow ?ctx ?seed ?tracer ?metrics net =
   let seed = c.Ctx.seed and tracer = c.Ctx.tracer and metrics = c.Ctx.metrics in
   let acc = fresh_accountant ?tracer ~n:net.Network.n () in
   let r = Lbcc_flow.Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create seed) net in
+  reliability_surcharge acc c.Ctx.reliability;
   observe_run ?metrics ~op:"mcmf" acc;
   Metrics.set_gauge metrics "mcmf.ipm_iterations"
     (float_of_int r.Lbcc_flow.Mcmf_lp.iterations);
@@ -156,6 +178,7 @@ let effective_resistance ?ctx ?seed ?tracer ?metrics g ~s ~t =
   if not hit then mirror_prepare acc p;
   let resistance, q = Prepared.effective_resistance ~accountant:acc p ~s ~t in
   let metrics = c.Ctx.metrics in
+  reliability_surcharge acc c.Ctx.reliability;
   observe_run ?metrics ~op:"resistance" acc;
   Metrics.set_gauge metrics "resistance.value" resistance;
   {

@@ -1,6 +1,8 @@
 open Lbcc_util
 module Engine = Lbcc_net.Engine
+module Model = Lbcc_net.Model
 module Reliable = Lbcc_net.Reliable
+module Byzantine = Lbcc_net.Byzantine
 module Graph = Lbcc_graph.Graph
 
 type state = {
@@ -54,11 +56,16 @@ let result_of states ~rounds ~supersteps ~converged =
     converged;
   }
 
+(* Payload poison for tampered deliveries: flip low distance bits, always
+   changing the value.  Tampering is only visible when a runner passes this
+   to the engine — see the determinism contract in {!Lbcc_net.Fault}. *)
+let tamper ~salt d = d lxor (1 lor (salt land 0x7))
+
 let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~n ~source in
   let states, stats =
-    Engine.run ?accountant ?faults ~label:"bfs" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~label:"bfs" ~model ~graph
       ~size_bits:(fun d -> Bits.int_bits d)
       ~init ~step
       ~max_supersteps:(max_supersteps n)
@@ -67,16 +74,38 @@ let run ?accountant ?faults ~model ~graph ~source () =
   result_of states ~rounds:stats.Engine.rounds ~supersteps:stats.Engine.supersteps
     ~converged:stats.Engine.converged
 
-let run_reliable ?accountant ?faults ?patience ~model ~graph ~source () =
+let run_byzantine ?accountant ?faults ?retries ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~n ~source in
   let r =
-    Reliable.run ?accountant ?faults ?patience ~label:"bfs" ~model ~graph
+    Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"bfs" ~model
+      ~graph
       ~size_bits:(fun d -> Bits.int_bits d)
       ~init ~step
       ~max_supersteps:(100 * max_supersteps n)
       ()
   in
-  result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
-    ~supersteps:r.Reliable.virtual_supersteps
-    ~converged:r.Reliable.stats.Engine.converged
+  ( result_of r.Byzantine.states ~rounds:r.Byzantine.stats.Engine.rounds
+      ~supersteps:r.Byzantine.virtual_supersteps
+      ~converged:r.Byzantine.stats.Engine.converged,
+    Byzantine.diag r )
+
+let run_reliable ?accountant ?faults ?patience
+    ?(reliability = Model.Crash_safe) ~model ~graph ~source () =
+  match reliability with
+  | Model.None -> run ?accountant ?faults ~model ~graph ~source ()
+  | Model.Byzantine_safe ->
+      fst (run_byzantine ?accountant ?faults ~model ~graph ~source ())
+  | Model.Crash_safe ->
+      let n = Graph.n graph in
+      let init, step = program ~n ~source in
+      let r =
+        Reliable.run ?accountant ?faults ?patience ~label:"bfs" ~model ~graph
+          ~size_bits:(fun d -> Bits.int_bits d)
+          ~init ~step
+          ~max_supersteps:(100 * max_supersteps n)
+          ()
+      in
+      result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
+        ~supersteps:r.Reliable.virtual_supersteps
+        ~converged:r.Reliable.stats.Engine.converged

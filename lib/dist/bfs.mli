@@ -26,18 +26,38 @@ val run :
   unit ->
   result
 (** Raw engine run: injected faults (if any) hit the protocol directly —
-    dropped announcements simply never arrive.
+    dropped announcements simply never arrive and tampered distances are
+    believed.
     @raise Invalid_argument on a unicast model. *)
+
+val run_byzantine :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?retries:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result * Lbcc_net.Byzantine.Diag.t
+(** Same program behind {!Lbcc_net.Byzantine}: echo-quorum delivery
+    tolerating [f < n/3] equivocating vertices, with the quorum overhead
+    under the ["bfs/byz-echo"] accountant label.  The diagnostics say
+    whether the delivery guarantee held.
+    @raise Invalid_argument on a non-clique model. *)
 
 val run_reliable :
   ?accountant:Lbcc_net.Rounds.t ->
   ?faults:Lbcc_net.Fault.t ->
   ?patience:int ->
+  ?reliability:Lbcc_net.Model.reliability ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   source:int ->
   unit ->
   result
-(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
-    lossy engine; retransmission cost appears under the
-    ["bfs/retransmit"] accountant label. *)
+(** The program behind the delivery tier selected by [reliability]
+    (default [Crash_safe]): [None] is {!run}, [Crash_safe] runs behind
+    {!Lbcc_net.Reliable} (exactly-once delivery over a lossy engine,
+    retransmission cost under ["bfs/retransmit"]), [Byzantine_safe] is
+    {!run_byzantine} with the diagnostics dropped.  [patience] applies to
+    the [Crash_safe] tier only. *)

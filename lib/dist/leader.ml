@@ -1,5 +1,6 @@
 module Engine = Lbcc_net.Engine
 module Reliable = Lbcc_net.Reliable
+module Byzantine = Lbcc_net.Byzantine
 module Graph = Lbcc_graph.Graph
 module Model = Lbcc_net.Model
 
@@ -67,11 +68,16 @@ let result_of ?faults states ~rounds ~supersteps ~converged =
   | _ -> ());
   { leader; rounds; supersteps; converged }
 
+(* Payload poison for tampered deliveries: a forged id below every honest
+   one, which min-id flooding believes unconditionally — the starkest
+   possible corruption of the election. *)
+let tamper ~salt b = -(1 + (b lxor (salt land 0x3F)))
+
 let run ?accountant ?faults ~model ~graph () =
   let n = check_input ~model ~graph in
   let init, step = program ~n ~topology:model.Model.topology in
   let states, stats =
-    Engine.run ?accountant ?faults ~label:"leader" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~label:"leader" ~model ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
       ~init ~step
       ~max_supersteps:(max_supersteps n)
@@ -80,16 +86,40 @@ let run ?accountant ?faults ~model ~graph () =
   result_of ?faults states ~rounds:stats.Engine.rounds
     ~supersteps:stats.Engine.supersteps ~converged:stats.Engine.converged
 
-let run_reliable ?accountant ?faults ?patience ~model ~graph () =
+let run_byzantine ?accountant ?faults ?retries ~model ~graph () =
   let n = check_input ~model ~graph in
   let init, step = program ~n ~topology:model.Model.topology in
   let r =
-    Reliable.run ?accountant ?faults ?patience ~label:"leader" ~model ~graph
+    Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"leader" ~model
+      ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
       ~init ~step
       ~max_supersteps:(100 * max_supersteps n)
       ()
   in
-  result_of ?faults r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
-    ~supersteps:r.Reliable.virtual_supersteps
-    ~converged:r.Reliable.stats.Engine.converged
+  ( result_of ?faults r.Byzantine.states ~rounds:r.Byzantine.stats.Engine.rounds
+      ~supersteps:r.Byzantine.virtual_supersteps
+      ~converged:r.Byzantine.stats.Engine.converged,
+    Byzantine.diag r )
+
+let run_reliable ?accountant ?faults ?patience
+    ?(reliability = Model.Crash_safe) ~model ~graph () =
+  match reliability with
+  | Model.None -> run ?accountant ?faults ~model ~graph ()
+  | Model.Byzantine_safe ->
+      fst (run_byzantine ?accountant ?faults ~model ~graph ())
+  | Model.Crash_safe ->
+      let n = check_input ~model ~graph in
+      let init, step = program ~n ~topology:model.Model.topology in
+      let r =
+        Reliable.run ?accountant ?faults ?patience ~label:"leader" ~model
+          ~graph
+          ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
+          ~init ~step
+          ~max_supersteps:(100 * max_supersteps n)
+          ()
+      in
+      result_of ?faults r.Reliable.states
+        ~rounds:r.Reliable.stats.Engine.rounds
+        ~supersteps:r.Reliable.virtual_supersteps
+        ~converged:r.Reliable.stats.Engine.converged

@@ -27,14 +27,33 @@ val run :
     @raise Invalid_argument on a unicast model or a disconnected graph
     under the [Input_graph] topology. *)
 
+val run_byzantine :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?retries:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  unit ->
+  result * Lbcc_net.Byzantine.Diag.t
+(** Same program behind {!Lbcc_net.Byzantine}: echo-quorum delivery
+    tolerating [f < n/3] equivocating vertices — a tampered delivery
+    forges an id below every honest one, which raw min-id flooding
+    believes and the quorum tier rejects.  Overhead is charged under the
+    ["leader/byz-echo"] accountant label.
+    @raise Invalid_argument on a non-clique model. *)
+
 val run_reliable :
   ?accountant:Lbcc_net.Rounds.t ->
   ?faults:Lbcc_net.Fault.t ->
   ?patience:int ->
+  ?reliability:Lbcc_net.Model.reliability ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   unit ->
   result
-(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
-    lossy engine; retransmission cost appears under the
-    ["leader/retransmit"] accountant label. *)
+(** The program behind the delivery tier selected by [reliability]
+    (default [Crash_safe]): [None] is {!run}, [Crash_safe] runs behind
+    {!Lbcc_net.Reliable} (retransmission cost under
+    ["leader/retransmit"]), [Byzantine_safe] is {!run_byzantine} with the
+    diagnostics dropped.  [patience] applies to the [Crash_safe] tier
+    only. *)

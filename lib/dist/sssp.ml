@@ -1,5 +1,7 @@
 module Engine = Lbcc_net.Engine
+module Model = Lbcc_net.Model
 module Reliable = Lbcc_net.Reliable
+module Byzantine = Lbcc_net.Byzantine
 module Graph = Lbcc_graph.Graph
 module Payload = Lbcc_net.Payload
 
@@ -73,11 +75,16 @@ let result_of states ~rounds ~supersteps ~converged =
     converged;
   }
 
+(* Payload poison for tampered deliveries: shrink the announced distance,
+   the worst case for min-based relaxation (an inflated distance would be
+   masked by the protocol's own monotonicity). *)
+let tamper ~salt d = (d *. 0.5) -. float_of_int (1 + (salt land 0xF))
+
 let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~graph ~source in
   let states, stats =
-    Engine.run ?accountant ?faults ~label:"sssp" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~label:"sssp" ~model ~graph
       ~size_bits:(fun d -> Payload.weight_bits d)
       ~init ~step
       ~max_supersteps:(max_supersteps n)
@@ -86,16 +93,38 @@ let run ?accountant ?faults ~model ~graph ~source () =
   result_of states ~rounds:stats.Engine.rounds ~supersteps:stats.Engine.supersteps
     ~converged:stats.Engine.converged
 
-let run_reliable ?accountant ?faults ?patience ~model ~graph ~source () =
+let run_byzantine ?accountant ?faults ?retries ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~graph ~source in
   let r =
-    Reliable.run ?accountant ?faults ?patience ~label:"sssp" ~model ~graph
+    Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"sssp" ~model
+      ~graph
       ~size_bits:(fun d -> Payload.weight_bits d)
       ~init ~step
       ~max_supersteps:(100 * max_supersteps n)
       ()
   in
-  result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
-    ~supersteps:r.Reliable.virtual_supersteps
-    ~converged:r.Reliable.stats.Engine.converged
+  ( result_of r.Byzantine.states ~rounds:r.Byzantine.stats.Engine.rounds
+      ~supersteps:r.Byzantine.virtual_supersteps
+      ~converged:r.Byzantine.stats.Engine.converged,
+    Byzantine.diag r )
+
+let run_reliable ?accountant ?faults ?patience
+    ?(reliability = Model.Crash_safe) ~model ~graph ~source () =
+  match reliability with
+  | Model.None -> run ?accountant ?faults ~model ~graph ~source ()
+  | Model.Byzantine_safe ->
+      fst (run_byzantine ?accountant ?faults ~model ~graph ~source ())
+  | Model.Crash_safe ->
+      let n = Graph.n graph in
+      let init, step = program ~graph ~source in
+      let r =
+        Reliable.run ?accountant ?faults ?patience ~label:"sssp" ~model ~graph
+          ~size_bits:(fun d -> Payload.weight_bits d)
+          ~init ~step
+          ~max_supersteps:(100 * max_supersteps n)
+          ()
+      in
+      result_of r.Reliable.states ~rounds:r.Reliable.stats.Engine.rounds
+        ~supersteps:r.Reliable.virtual_supersteps
+        ~converged:r.Reliable.stats.Engine.converged

@@ -26,17 +26,36 @@ val run :
   unit ->
   result
 (** @raise Invalid_argument on a unicast model.  Distances agree with
-    {!Lbcc_graph.Paths.dijkstra} (tested). *)
+    {!Lbcc_graph.Paths.dijkstra} (tested).  Tampered deliveries (see
+    {!Lbcc_net.Fault}) shrink announced distances — the worst case for
+    min-based relaxation — and are believed. *)
+
+val run_byzantine :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?faults:Lbcc_net.Fault.t ->
+  ?retries:int ->
+  model:Lbcc_net.Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result * Lbcc_net.Byzantine.Diag.t
+(** Same program behind {!Lbcc_net.Byzantine}: echo-quorum delivery
+    tolerating [f < n/3] equivocating vertices, with the quorum overhead
+    under the ["sssp/byz-echo"] accountant label.
+    @raise Invalid_argument on a non-clique model. *)
 
 val run_reliable :
   ?accountant:Lbcc_net.Rounds.t ->
   ?faults:Lbcc_net.Fault.t ->
   ?patience:int ->
+  ?reliability:Lbcc_net.Model.reliability ->
   model:Lbcc_net.Model.t ->
   graph:Lbcc_graph.Graph.t ->
   source:int ->
   unit ->
   result
-(** Same program behind {!Lbcc_net.Reliable}: exactly-once delivery over a
-    lossy engine; retransmission cost appears under the
-    ["sssp/retransmit"] accountant label. *)
+(** The program behind the delivery tier selected by [reliability]
+    (default [Crash_safe]): [None] is {!run}, [Crash_safe] runs behind
+    {!Lbcc_net.Reliable} (retransmission cost under ["sssp/retransmit"]),
+    [Byzantine_safe] is {!run_byzantine} with the diagnostics dropped.
+    [patience] applies to the [Crash_safe] tier only. *)

@@ -14,9 +14,15 @@ type stats = {
   converged : bool;
 }
 
-exception Timeout of { label : string; supersteps : int }
+exception
+  Timeout of { label : string; supersteps : int; rounds : int; phase : string }
 
 type on_timeout = [ `Truncate | `Raise ]
+
+(* The accountant's open-phase path at the moment the cap fired; an engine
+   without an accountant reports the bare label's own scope. *)
+let phase_of accountant =
+  match accountant with Some acc -> Rounds.phase_path acc | None -> ""
 
 (* A fault plan that never fires costs nothing to consult, but skipping it
    entirely keeps the lossless path identical to the historical engine. *)
@@ -38,11 +44,11 @@ let deliveries faults ~round ~src ~dst =
   | None -> 1
   | Some f -> Fault.copies f ~round ~src ~dst
 
-let finish ~label ~on_timeout ~live ~supersteps ~rounds ~messages_sent
-    ~total_bits states =
+let finish ~label ~on_timeout ~accountant ~live ~supersteps ~rounds
+    ~messages_sent ~total_bits states =
   let converged = not (Array.exists Fun.id live) in
   if (not converged) && on_timeout = `Raise then
-    raise (Timeout { label; supersteps });
+    raise (Timeout { label; supersteps; rounds; phase = phase_of accountant });
   ( states,
     { supersteps; rounds; messages_sent; total_bits; converged } )
 
@@ -53,8 +59,8 @@ let finish ~label ~on_timeout ~live ~supersteps ~rounds ~messages_sent
 let step_chunk n = Stdlib.max 16 ((n + 63) / 64)
 
 let run ?pool ?accountant ?tracer ?(label = "engine")
-    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults ~model
-    ~graph ~size_bits ~init ~step () =
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults
+    ?(tamper = fun ~salt:_ msg -> msg) ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Broadcast -> ()
   | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
@@ -88,34 +94,45 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
   let live = Array.make n true in
   (* Messages broadcast in superstep [s], consumed by the gather in [s+1].
      [overrides] holds the fault plan's verdicts for those messages —
-     only entries with a copy count <> 1 — keyed (src, dst). *)
+     only entries with a copy count <> 1 or a tamper salt — keyed
+     (src, dst) as [(copies, tamper_salt)]. *)
   let prev_outgoing = ref (Array.make n None) in
-  let overrides : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let overrides : (int * int, int * int option) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let supersteps = ref 0 and rounds = ref 0 in
   let messages_sent = ref 0 and total_bits = ref 0 in
   let bandwidth = Model.bandwidth ~n in
   let chunk = step_chunk n in
   let any_live () = Array.exists Fun.id live in
   let copies_of ~src ~dst =
-    if Option.is_none faults then 1
+    if Option.is_none faults then (1, None)
     else
       match Hashtbl.find_opt overrides (src, dst) with
-      | Some c -> c
-      | None -> 1
+      | Some verdict -> verdict
+      | None -> (1, None)
   in
   (* Consing while walking senders in descending order yields the inbox in
      ascending sender order with duplicated deliveries adjacent — exactly
      the [List.rev] of the historical push-delivery loop, which appended
-     sender-by-sender with the outer loop ascending. *)
+     sender-by-sender with the outer loop ascending.  A tampered delivery
+     is rewritten per receiver ([tamper] is pure, so applying it inside the
+     parallel step phase is schedule-independent). *)
   let gather prev v =
     let inbox = ref [] in
     let take u =
       match prev.(u) with
       | None -> ()
       | Some msg ->
-          for _ = 1 to copies_of ~src:u ~dst:v do
-            inbox := (u, msg) :: !inbox
-          done
+          let c, salt = copies_of ~src:u ~dst:v in
+          if c > 0 then begin
+            let msg =
+              match salt with None -> msg | Some salt -> tamper ~salt msg
+            in
+            for _ = 1 to c do
+              inbox := (u, msg) :: !inbox
+            done
+          end
     in
     (match gather_adj with
     | None ->
@@ -168,7 +185,11 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
         Hashtbl.reset overrides;
         let record ~src ~dst =
           let c = Fault.copies f ~round ~src ~dst in
-          if c <> 1 then Hashtbl.replace overrides (src, dst) c
+          let salt =
+            if c = 0 then None else Fault.tamper f ~round ~src ~dst
+          in
+          if c <> 1 || Option.is_some salt then
+            Hashtbl.replace overrides (src, dst) (c, salt)
         in
         for v = 0 to n - 1 do
           match outgoing.(v) with
@@ -190,8 +211,9 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
   done;
   Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
     ~supersteps:!supersteps ~messages:!messages_sent ();
-  finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
-    ~messages_sent:!messages_sent ~total_bits:!total_bits states
+  finish ~label ~on_timeout ~accountant ~live ~supersteps:!supersteps
+    ~rounds:!rounds ~messages_sent:!messages_sent ~total_bits:!total_bits
+    states
 
 type ('state, 'msg) unicast_step =
   round:int ->
@@ -201,8 +223,8 @@ type ('state, 'msg) unicast_step =
   'state * (int * 'msg) list * bool
 
 let run_unicast ?pool ?accountant ?tracer ?(label = "engine-unicast")
-    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults ~model
-    ~graph ~size_bits ~init ~step () =
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults
+    ?(tamper = fun ~salt:_ msg -> msg) ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
   | Model.Unicast -> ()
   | Model.Broadcast ->
@@ -273,9 +295,20 @@ let run_unicast ?pool ?accountant ?tracer ?(label = "engine-unicast")
           incr messages_sent;
           total_bits := !total_bits + bits;
           max_bits := Stdlib.max !max_bits bits;
-          for _ = 1 to deliveries faults ~round ~src:v ~dst:u do
-            inboxes.(u) <- (v, msg) :: inboxes.(u)
-          done)
+          let c = deliveries faults ~round ~src:v ~dst:u in
+          if c > 0 then begin
+            let msg =
+              match faults with
+              | None -> msg
+              | Some f -> (
+                  match Fault.tamper f ~round ~src:v ~dst:u with
+                  | None -> msg
+                  | Some salt -> tamper ~salt msg)
+            in
+            for _ = 1 to c do
+              inboxes.(u) <- (v, msg) :: inboxes.(u)
+            done
+          end)
         outgoing.(v)
     done;
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
@@ -286,5 +319,6 @@ let run_unicast ?pool ?accountant ?tracer ?(label = "engine-unicast")
   done;
   Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
     ~supersteps:!supersteps ~messages:!messages_sent ();
-  finish ~label ~on_timeout ~live ~supersteps:!supersteps ~rounds:!rounds
-    ~messages_sent:!messages_sent ~total_bits:!total_bits states
+  finish ~label ~on_timeout ~accountant ~live ~supersteps:!supersteps
+    ~rounds:!rounds ~messages_sent:!messages_sent ~total_bits:!total_bits
+    states

@@ -58,9 +58,13 @@ type stats = {
           live — the states are partial. *)
 }
 
-exception Timeout of { label : string; supersteps : int }
+exception
+  Timeout of { label : string; supersteps : int; rounds : int; phase : string }
 (** Raised instead of returning truncated state when [?on_timeout:`Raise]
-    is selected and [max_supersteps] is exhausted. *)
+    is selected and [max_supersteps] is exhausted.  [rounds] is the round
+    count charged up to the cap and [phase] the accountant's open-phase
+    path at that moment ([""] without an accountant or open phase), so a
+    timeout pinpoints where in the pipeline the budget died. *)
 
 type on_timeout = [ `Truncate | `Raise ]
 
@@ -72,6 +76,7 @@ val run :
   ?max_supersteps:int ->
   ?on_timeout:on_timeout ->
   ?faults:Fault.t ->
+  ?tamper:(salt:int -> 'msg -> 'msg) ->
   model:Model.t ->
   graph:Lbcc_graph.Graph.t ->
   size_bits:('msg -> int) ->
@@ -83,6 +88,14 @@ val run :
     ([Input_graph]: neighbors of [graph]; [Clique]: everyone).  Only
     broadcast disciplines are supported.  A crashed vertex stops stepping
     and sending from its crash superstep on; its last state is kept.
+
+    [?tamper] gives the fault plan's corruption/equivocation verdicts
+    (see {!Fault.tamper}) a concrete payload transform: when a delivery is
+    tampered the receiver sees [tamper ~salt msg] instead of [msg].  It
+    must be pure (it runs inside the parallel gather) and deterministic in
+    [salt].  The default is the identity — a protocol that opts out of
+    supplying a transform is immune to payload tampering, not silently
+    corrupted.
     @raise Invalid_argument on a unicast model.
     @raise Timeout when the cap is hit under [?on_timeout:`Raise]. *)
 
@@ -104,6 +117,7 @@ val run_unicast :
   ?max_supersteps:int ->
   ?on_timeout:on_timeout ->
   ?faults:Fault.t ->
+  ?tamper:(salt:int -> 'msg -> 'msg) ->
   model:Model.t ->
   graph:Lbcc_graph.Graph.t ->
   size_bits:('msg -> int) ->

@@ -1,0 +1,239 @@
+module Graph = Lbcc_graph.Graph
+module Tbl = Lbcc_util.Tbl
+module Prng = Lbcc_util.Prng
+
+(* Epidemic dissemination over the unicast congested clique: eager push of
+   freshly learned rumors to a few random targets per round, a digest of
+   known origins riding every gram, and lazy pull of the rumors a digest
+   proves the sender has and the receiver lacks.  Push spreads a rumor to
+   most of the network in O(log n) rounds; pull closes the stragglers. *)
+
+type 'msg gram = {
+  digest : int list; (* origins the sender knows, ascending *)
+  give : (int * 'msg) list; (* (origin, rumor) payloads, ascending *)
+  want : int list; (* origins the sender asks this receiver for *)
+}
+
+type 'msg vertex = {
+  id : int;
+  known : (int, 'msg) Hashtbl.t; (* origin -> rumor *)
+  mutable fresh : int list; (* learned last round, to push eagerly *)
+  holders : (int, int) Hashtbl.t; (* wanted origin -> lowest known holder *)
+  serve : (int, int list) Hashtbl.t; (* target -> origins to serve *)
+  mutable idle : int;
+  mutable pushes : int;
+  mutable pulls : int;
+}
+
+type 'msg result = {
+  known : (int * 'msg) list array;
+  stats : Engine.stats;
+  rumors : int;
+  coverage : float;
+  pushes : int;
+  pulls : int;
+}
+
+let gram_bits ~n size_bits (g : _ gram) =
+  let open Payload in
+  let per_id = size [ Vertex_id n ] in
+  (per_id * (List.length g.digest + List.length g.want))
+  + List.fold_left (fun acc (_, m) -> acc + per_id + size_bits m) 0 g.give
+
+(* Fanout targets for (seed, round, vertex): a fresh one-shot stream per
+   coordinate triple, so the choice is independent of evaluation order. *)
+let targets ~seed ~round ~vertex ~n ~fanout =
+  let g =
+    Prng.create
+      (seed
+      lxor (round * 0x9E3779B1)
+      lxor ((vertex + 1) * 0x85EBCA77))
+  in
+  let rec pick acc k =
+    if k = 0 then acc
+    else
+      let t = Prng.int g (n - 1) in
+      (* Skew past self: uniform over the other n-1 vertices. *)
+      let t = if t >= vertex then t + 1 else t in
+      if List.mem t acc then pick acc k else pick (t :: acc) (k - 1)
+  in
+  if n <= 1 then [] else pick [] (Stdlib.min fanout (n - 1))
+
+let log2_ceil n =
+  let rec go acc k = if k <= 1 then acc else go (acc + 1) ((k + 1) / 2) in
+  go 0 n
+
+let spread ?accountant ?tracer ?(label = "gossip") ?(fanout = 2) ?(patience = 3)
+    ?horizon ?(max_supersteps = 10_000) ?(on_timeout = `Truncate) ?(seed = 1)
+    ?faults ~model ~graph ~size_bits ~rumors () =
+  (match (model.Model.topology, model.Model.discipline) with
+  | Model.Clique, Model.Unicast -> ()
+  | _ ->
+      invalid_arg "Gossip.spread: needs the unicast congested clique model");
+  if fanout < 1 then invalid_arg "Gossip.spread: fanout must be >= 1";
+  if patience < 1 then invalid_arg "Gossip.spread: patience must be >= 1";
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
+  let n = Graph.n graph in
+  (* No vertex retires before the epidemic has had time to find it: with
+     fanout >= 1 the push phase needs O(log n) rounds, and a straggler is
+     only safe to give up once it has sat through that window plus
+     [patience] quiet rounds. *)
+  let horizon =
+    match horizon with Some h -> h | None -> patience + (3 * log2_ceil n)
+  in
+  let init v =
+    let known = Hashtbl.create 8 in
+    (match rumors v with
+    | Some m -> Hashtbl.replace known v m
+    | None -> ());
+    {
+      id = v;
+      known;
+      fresh = (if Hashtbl.mem known v then [ v ] else []);
+      holders = Hashtbl.create 8;
+      serve = Hashtbl.create 8;
+      idle = 0;
+      pushes = 0;
+      pulls = 0;
+    }
+  in
+  let learn (v : _ vertex) origin rumor =
+    if not (Hashtbl.mem v.known origin) then begin
+      Hashtbl.replace v.known origin rumor;
+      Hashtbl.remove v.holders origin;
+      v.fresh <- origin :: v.fresh;
+      v.idle <- 0
+    end
+  in
+  let ingest (v : _ vertex) (sender, g) =
+    List.iter (fun (o, m) -> learn v o m) g.give;
+    List.iter
+      (fun o ->
+        if not (Hashtbl.mem v.known o) then begin
+          (match Hashtbl.find_opt v.holders o with
+          | Some h when h <= sender -> ()
+          | _ -> Hashtbl.replace v.holders o sender);
+          v.idle <- 0
+        end)
+      g.digest;
+    List.iter
+      (fun o ->
+        if Hashtbl.mem v.known o then begin
+          let had =
+            match Hashtbl.find_opt v.serve sender with Some l -> l | None -> []
+          in
+          if not (List.mem o had) then
+            Hashtbl.replace v.serve sender (o :: had);
+          v.idle <- 0
+        end)
+      g.want
+  in
+  let step ~round ~vertex:_ (v : _ vertex) inbox =
+    List.iter (fun (s, g) -> ingest v (s, g)) inbox;
+    let digest = Tbl.sorted_keys ~compare:Int.compare v.known in
+    let outbox = Hashtbl.create 8 in
+    let gram_to t =
+      match Hashtbl.find_opt outbox t with
+      | Some g -> g
+      | None ->
+          let g = ref { digest; give = []; want = [] } in
+          Hashtbl.replace outbox t g;
+          g
+    in
+    let active =
+      v.fresh <> []
+      || Hashtbl.length v.holders > 0
+      || Hashtbl.length v.serve > 0
+    in
+    (* Anti-entropy: the digest goes to [fanout] seeded targets every
+       round — that alone guarantees gaps are eventually discovered.
+       Eager push piggybacks the fresh payloads on the same grams. *)
+    let give =
+      if v.fresh = [] then []
+      else
+        List.sort_uniq Int.compare v.fresh
+        |> List.map (fun o -> (o, Hashtbl.find v.known o))
+    in
+    List.iter
+      (fun t ->
+        let g = gram_to t in
+        g := { !g with give };
+        v.pushes <- v.pushes + List.length give)
+      (targets ~seed ~round ~vertex:v.id ~n ~fanout);
+    (* Lazy pull: ask the lowest known holder of each missing origin. *)
+    Tbl.sorted_bindings ~compare:Int.compare v.holders
+    |> List.iter (fun (o, holder) ->
+           let g = gram_to holder in
+           g := { !g with want = o :: !g.want };
+           v.pulls <- v.pulls + 1);
+    (* Serve yesterday's pull requests. *)
+    Tbl.sorted_bindings ~compare:Int.compare v.serve
+    |> List.iter (fun (t, origins) ->
+           let give =
+             List.sort_uniq Int.compare origins
+             |> List.filter_map (fun o ->
+                    Option.map (fun m -> (o, m)) (Hashtbl.find_opt v.known o))
+           in
+           if give <> [] then begin
+             let g = gram_to t in
+             let merged =
+               List.sort_uniq
+                 (fun (a, _) (b, _) -> Int.compare a b)
+                 (give @ !g.give)
+             in
+             g := { !g with give = merged }
+           end);
+    Hashtbl.reset v.serve;
+    v.fresh <- [];
+    let out =
+      Tbl.sorted_bindings ~compare:Int.compare outbox
+      |> List.map (fun (t, g) -> (t, !g))
+    in
+    v.idle <- (if active then 0 else v.idle + 1);
+    (v, out, round < horizon || v.idle < patience)
+  in
+  let vertices, stats =
+    Engine.run_unicast ?accountant ?faults ~label ~max_supersteps ~on_timeout
+      ~model ~graph
+      ~size_bits:(gram_bits ~n size_bits)
+      ~init ~step ()
+  in
+  let total_rumors =
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      if Option.is_some (rumors v) then incr c
+    done;
+    !c
+  in
+  let delivered =
+    Array.fold_left
+      (fun acc (v : _ vertex) -> acc + Hashtbl.length v.known)
+      0 vertices
+  in
+  let coverage =
+    if total_rumors = 0 then 1.0
+    else float_of_int delivered /. float_of_int (n * total_rumors)
+  in
+  let pushes =
+    Array.fold_left (fun acc (v : _ vertex) -> acc + v.pushes) 0 vertices
+  in
+  let pulls =
+    Array.fold_left (fun acc (v : _ vertex) -> acc + v.pulls) 0 vertices
+  in
+  Lbcc_obs.Trace.add tracer ~rounds:stats.Engine.rounds
+    ~bits:stats.Engine.total_bits ~supersteps:stats.Engine.supersteps
+    ~messages:stats.Engine.messages_sent ();
+  Lbcc_obs.Trace.set_attr tracer "coverage" (Lbcc_obs.Json.Float coverage);
+  Lbcc_obs.Trace.set_attr tracer "pushes" (Lbcc_obs.Json.Int pushes);
+  Lbcc_obs.Trace.set_attr tracer "pulls" (Lbcc_obs.Json.Int pulls);
+  {
+    known =
+      Array.map
+        (fun (v : _ vertex) -> Tbl.sorted_bindings ~compare:Int.compare v.known)
+        vertices;
+    stats;
+    rumors = total_rumors;
+    coverage;
+    pushes;
+    pulls;
+  }

@@ -1,0 +1,67 @@
+(** Epidemic rumor dissemination over the unicast congested clique.
+
+    Each vertex may originate one rumor; {!spread} runs a push–pull gossip
+    protocol until every vertex is quiescent:
+
+    - {b eager push}: a rumor learned in round [r] is forwarded in round
+      [r+1] to [fanout] targets drawn from a seeded PRNG keyed on
+      [(seed, round, vertex)] — the choice is a pure function of its
+      coordinates, so runs are deterministic at any pool size;
+    - {b digest exchange}: every gram carries the ascending list of origins
+      its sender knows, so a receiver learns {e what exists} even when the
+      payload itself was not pushed to it;
+    - {b lazy pull}: a vertex that heard a digest naming an origin it lacks
+      asks the lowest-id known holder for the payload in the next round,
+      and holders answer queued requests one round later.
+
+    Push alone reaches most of the network in [O(log n)] rounds but leaves
+    stragglers with probability [Theta(1/n)] per rumor; the digest/pull
+    pair closes exactly those gaps, which is the recovery invariant
+    (DESIGN.md §9): {e any vertex that ever hears a digest naming a rumor
+    eventually holds that rumor, faults permitting}.  A vertex halts after
+    [patience] consecutive rounds with nothing to push, pull or serve.
+
+    All cost is charged under [label] (default ["gossip"]): rounds by the
+    engine's unicast rule, bits from digests, wants and payloads alike. *)
+
+type 'msg result = {
+  known : (int * 'msg) list array;
+      (** per vertex: the [(origin, rumor)] pairs it holds, ascending *)
+  stats : Engine.stats;
+  rumors : int;  (** number of distinct rumors originated *)
+  coverage : float;
+      (** delivered (vertex, rumor) pairs over [n * rumors]; [1.0] is full
+          dissemination *)
+  pushes : int;  (** rumor payloads sent by eager push *)
+  pulls : int;  (** pull requests sent *)
+}
+
+val spread :
+  ?accountant:Rounds.t ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?label:string ->
+  ?fanout:int ->
+  ?patience:int ->
+  ?horizon:int ->
+  ?max_supersteps:int ->
+  ?on_timeout:Engine.on_timeout ->
+  ?seed:int ->
+  ?faults:Fault.t ->
+  model:Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  size_bits:('msg -> int) ->
+  rumors:(int -> 'msg option) ->
+  unit ->
+  'msg result
+(** [spread ~model ~graph ~size_bits ~rumors ()] disseminates
+    [rumors v] (for every vertex [v] where it is [Some _]) to all vertices.
+    [fanout] defaults to 2, [patience] to 3, [seed] to 1.  No vertex
+    retires before round [horizon] (default [patience + 3 ceil(log2 n)]),
+    so stragglers sit through the epidemic's [O(log n)] spreading window
+    exchanging digests before giving up.  Under [?faults]
+    dropped grams slow the epidemic but the digest/pull path retries as
+    long as any digest gap remains, so coverage degrades only when faults
+    persist past quiescence.
+    @raise Invalid_argument unless [model] is the unicast congested clique
+    ([{topology = Clique; discipline = Unicast}]), or on a non-positive
+    [fanout] / [patience]. *)

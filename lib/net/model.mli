@@ -23,3 +23,26 @@ val bandwidth : n:int -> int
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit
+
+type reliability =
+  | None  (** raw engine: faults hit the protocol directly *)
+  | Crash_safe
+      (** {!Reliable}: ack/retransmit recovery from drops, duplicates and
+          crash-stop vertices *)
+  | Byzantine_safe
+      (** {!Byzantine}: echo-quorum reliable broadcast tolerating
+          [f < n/3] corrupting / equivocating vertices *)
+(** The delivery-guarantee tiers every pipeline entry point can run under.
+    Each tier strictly strengthens the previous one and costs strictly more
+    rounds; the overhead is charged under its own accounting label
+    (["<label>/retransmit"], ["<label>/byz-echo"]) so the tiers stay
+    comparable in the paper's round currency (DESIGN.md §9). *)
+
+val reliability_name : reliability -> string
+(** ["none" | "crash-safe" | "byzantine-safe"]. *)
+
+val reliability_of_string : string -> reliability option
+(** Inverse of {!reliability_name}, accepting the CLI spellings
+    ("raw", "crash", "reliable", "byz", ...).  [None] on unknown input. *)
+
+val pp_reliability : Format.formatter -> reliability -> unit

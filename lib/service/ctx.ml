@@ -2,21 +2,33 @@ type t = {
   seed : int;
   tracer : Lbcc_obs.Trace.t option;
   metrics : Lbcc_obs.Metrics.t option;
+  reliability : Lbcc_net.Model.reliability;
 }
 
 (* seed 1 matches the historical default of every [Lbcc] entry point, so
    migrating a call site from the legacy labels to [?ctx] never changes its
-   output. *)
-let default = { seed = 1; tracer = None; metrics = None }
+   output; likewise reliability [None] (raw delivery) is the historical
+   cost model. *)
+let default =
+  {
+    seed = 1;
+    tracer = None;
+    metrics = None;
+    reliability = Lbcc_net.Model.None;
+  }
 
-let make ?(seed = default.seed) ?tracer ?metrics () = { seed; tracer; metrics }
+let make ?(seed = default.seed) ?tracer ?metrics
+    ?(reliability = default.reliability) () =
+  { seed; tracer; metrics; reliability }
 
-let resolve ?ctx ?seed ?tracer ?metrics () =
+let resolve ?ctx ?seed ?tracer ?metrics ?reliability () =
   let base = match ctx with Some c -> c | None -> default in
   {
     seed = (match seed with Some s -> s | None -> base.seed);
     tracer = (match tracer with Some _ -> tracer | None -> base.tracer);
     metrics = (match metrics with Some _ -> metrics | None -> base.metrics);
+    reliability =
+      (match reliability with Some r -> r | None -> base.reliability);
   }
 
 let with_seed t seed = { t with seed }

@@ -11,16 +11,24 @@ type t = {
   seed : int;  (** shared randomness for the simulated clique *)
   tracer : Lbcc_obs.Trace.t option;  (** span tree sink, when tracing *)
   metrics : Lbcc_obs.Metrics.t option;  (** counter/histogram registry *)
+  reliability : Lbcc_net.Model.reliability;
+      (** delivery tier the run is costed under: the pipeline's supersteps
+          are surcharged by the tier's round overhead (DESIGN.md §9) *)
 }
 
 val default : t
-(** [{ seed = 1; tracer = None; metrics = None }] — seed 1 is the
-    historical default of the [Lbcc] entry points, kept so migrating to
-    [?ctx] never changes a call's output. *)
+(** [{ seed = 1; tracer = None; metrics = None; reliability = None }] —
+    seed 1 and raw delivery are the historical defaults of the [Lbcc]
+    entry points, kept so migrating to [?ctx] never changes a call's
+    output. *)
 
 val make :
-  ?seed:int -> ?tracer:Lbcc_obs.Trace.t -> ?metrics:Lbcc_obs.Metrics.t ->
-  unit -> t
+  ?seed:int ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  ?reliability:Lbcc_net.Model.reliability ->
+  unit ->
+  t
 (** Explicit constructor; omitted fields take {!default}'s values. *)
 
 val resolve :
@@ -28,6 +36,7 @@ val resolve :
   ?seed:int ->
   ?tracer:Lbcc_obs.Trace.t ->
   ?metrics:Lbcc_obs.Metrics.t ->
+  ?reliability:Lbcc_net.Model.reliability ->
   unit ->
   t
 (** Merge a context with the legacy per-call optional labels: start from

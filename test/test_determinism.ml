@@ -125,6 +125,43 @@ let protocols =
             Printf.sprintf "%s|%s|%d|%d|%b" (floats r.Sssp.dist)
               (ints r.Sssp.parent) r.Sssp.rounds r.Sssp.supersteps
               r.Sssp.converged) );
+    ( "reliable leader crash+dup",
+      (* Combined crash-stop and duplication schedule: the ack/retransmit
+         layer has to suspect the crashed vertex and dedupe the copies in
+         the same run. *)
+      fun seed ->
+        with_acct (fun acc ->
+            let faults =
+              Fault.create ~seed
+                (Fault.spec ~drop_prob:0.1 ~duplicate_prob:0.25
+                   ~crashes:[ (2, 4); (5, 2) ] ())
+            in
+            let r =
+              Leader.run_reliable ~accountant:acc ~faults
+                ~model:Model.broadcast_congest ~graph:(graph_of seed) ()
+            in
+            Printf.sprintf "%d|%d|%d|%b" r.Leader.leader r.Leader.rounds
+              r.Leader.supersteps r.Leader.converged) );
+    ( "byzantine bfs equivocating",
+      fun seed ->
+        with_acct (fun acc ->
+            let g = graph_of seed in
+            let faults =
+              Fault.create ~seed
+                (Fault.spec
+                   ~byzantine:
+                     (List.init (Fault.max_tolerated ~n:(Graph.n g)) Fun.id)
+                   ~byz_prob:0.15 ())
+            in
+            let r, d =
+              Bfs.run_byzantine ~accountant:acc ~faults
+                ~model:Model.broadcast_congested_clique ~graph:g ~source:0 ()
+            in
+            Printf.sprintf "%s|%s|%d|%d|%b|%d|%d|%d" (ints r.Bfs.dist)
+              (ints r.Bfs.parent) r.Bfs.rounds r.Bfs.supersteps r.Bfs.converged
+              d.Lbcc_net.Byzantine.Diag.echo_rounds
+              d.Lbcc_net.Byzantine.Diag.repairs_served
+              d.Lbcc_net.Byzantine.Diag.quorum_failures) );
     ( "sparsifier",
       fun seed ->
         with_acct (fun acc ->

@@ -79,7 +79,7 @@ let test_engine_reports_timeout () =
 let test_engine_timeout_raises () =
   let g = Gen.ring (Prng.create 1) ~n:4 in
   Alcotest.check_raises "timeout raises"
-    (Engine.Timeout { label = "engine"; supersteps = 5 })
+    (Engine.Timeout { label = "engine"; supersteps = 5; rounds = 5; phase = "" })
     (fun () -> ignore (never_halt_program g ~max_supersteps:5 ~on_timeout:`Raise ()))
 
 let test_engine_crash_stops_vertex () =

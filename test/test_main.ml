@@ -1,7 +1,8 @@
 let () =
   Alcotest.run "laplacian_bcc"
     (Test_util.suites @ Test_linalg.suites @ Test_graph.suites
-   @ Test_net.suites @ Test_fault.suites @ Test_spanner.suites @ Test_sparsifier.suites
+   @ Test_net.suites @ Test_fault.suites @ Test_byzantine.suites
+   @ Test_spanner.suites @ Test_sparsifier.suites
    @ Test_laplacian.suites @ Test_lp.suites @ Test_ipm.suites
    @ Test_flow.suites @ Test_dist.suites @ Test_io.suites @ Test_core.suites
    @ Test_obs.suites @ Test_service.suites @ Test_lint.suites
