@@ -7,7 +7,7 @@ LINT := ./_build/default/bin/lbcc_lint.exe
 DUNE_PROFILE := $(if $(LBCC_DEV),dev,strict)
 DUNE := dune build --profile $(DUNE_PROFILE)
 
-.PHONY: all build test lint smoke bench-smoke perf doc ci clean
+.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke doc ci clean
 
 all: build
 
@@ -37,6 +37,7 @@ smoke: build
 	$(CLI) dist --algo bfs --raw --drop-prob 0.3 --fault-seed 2 \
 	  | grep -q 'converged='
 	$(CLI) sparsify --vertices 48 --max-retries 2 | grep -q 'verdict=ok'
+	dune exec test/test_main.exe -- test engine-diff -q
 	$(CLI) dist --algo leader --model bcc --vertices 16 --byz-count 2 \
 	  --byz-prob 0.2 --reliability byzantine \
 	  | grep -q 'matches lossless run: true'
@@ -58,6 +59,28 @@ bench-smoke: build
 	  _bench_reports/BENCH_E5.json _bench_reports/BENCH_BYZ.json \
 	  _bench_reports/BENCH_PERF.json _bench_reports/BENCH_BATCH.json
 	@echo "bench-smoke: OK"
+
+# Regenerate the golden fingerprint file that pins every protocol in the
+# shared table (test/fp/fp.ml) at the golden seeds.  Refuses to run from a
+# dirty tree: a new baseline must be its own reviewable commit, with the
+# code change that moved the fingerprints visible in the same diff.
+fingerprints: build
+	@if ! git diff --quiet || ! git diff --cached --quiet; then \
+	  echo "fingerprints: tree is dirty; commit or stash first" >&2; exit 1; \
+	fi
+	dune exec test/fp/fp_dump.exe > test/fingerprints.expected
+	@echo "fingerprints: regenerated test/fingerprints.expected"
+
+# Scaling smoke: the SCALE experiment capped at a CI-friendly size.  The
+# claims (allocation-free run_soa superstep loop, broadcast-capacity
+# invariant, sweep completion) are asserted by the harness exit code, and
+# the report must validate against the lbcc-bench/1 schema.
+scale-smoke: build
+	rm -rf _bench_reports && mkdir -p _bench_reports
+	LBCC_SCALE_MAX_N=1024 dune exec bench/main.exe -- SCALE --json \
+	  --out _bench_reports
+	$(CLI) report --validate _bench_reports/BENCH_SCALE.json
+	@echo "scale-smoke: OK"
 
 # Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4
 # worker domains (outputs must stay bit-identical) and measures the

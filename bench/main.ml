@@ -37,6 +37,8 @@ module Network = Lbcc_flow.Network
 module Mcmf = Lbcc_flow.Mcmf
 module Mcmf_lp = Lbcc_flow.Mcmf_lp
 module Model = Lbcc_net.Model
+module Engine = Lbcc_net.Engine
+module Vstate = Lbcc_net.Vstate
 module Rounds = Lbcc_net.Rounds
 module Fault = Lbcc_net.Fault
 module Byzantine = Lbcc_net.Byzantine
@@ -1117,6 +1119,211 @@ let batch () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* SCALE: flat-core throughput and allocation at large n               *)
+
+(* A deterministic mixing protocol on the struct-of-arrays engine: every
+   vertex broadcasts a running accumulator every superstep for exactly [k]
+   supersteps, folding its inbox in with masked addition.  Every vertex
+   sends every superstep, so rounds, messages and bits are exact functions
+   of the topology — the run is pure engine throughput. *)
+let scale_wave ~graph ~acc ~k =
+  let n = Graph.n graph in
+  let vs = Vstate.create ~n in
+  let wave = Vstate.ints vs "wave" in
+  for v = 0 to n - 1 do
+    wave.(v) <- v land 0x3FFF_FFFF
+  done;
+  let step ~round ~vertex (ib : Engine.soa_inbox) (out : Engine.soa_out) =
+    for i = 0 to ib.Engine.count - 1 do
+      wave.(vertex) <-
+        (wave.(vertex) + ib.Engine.payloads.(i) + ib.Engine.senders.(i))
+        land 0x3FFF_FFFF
+    done;
+    out.Engine.send <- true;
+    out.Engine.value <- wave.(vertex);
+    round < k
+  in
+  Engine.run_soa ~accountant:acc ~label:"scale-wave"
+    ~model:Model.broadcast_congest ~graph
+    ~size_bits:(fun w -> Bits.int_bits w)
+    ~step ~max_supersteps:(k + 1) ()
+
+let scale () =
+  section "SCALE" "flat-core scaling: rounds/sec, bytes/round, allocation vs n";
+  let max_n =
+    match Sys.getenv_opt "LBCC_SCALE_MAX_N" with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 8192)
+    | None -> 8192
+  in
+  Pool.set_default_domains 1;
+  let ns = List.filter (fun n -> n <= max_n) [ 1024; 2048; 4096; 8192 ] in
+  let ns = if ns = [] then [ max_n ] else ns in
+  (* Part 1: raw superstep throughput of run_soa, and the allocation-free
+     hot path.  Setup (state columns, double buffers, per-chunk scratch) is
+     amortized out by differencing a long run against a short one on the
+     same graph: the per-superstep increment is what the step loop itself
+     allocates, and it must be (essentially) zero. *)
+  let k_short = 32 and k_long = 256 in
+  Printf.printf "%6s %9s %12s %12s %14s\n" "n" "rounds" "rounds/sec"
+    "bytes/round" "words/superstep";
+  let wave_rows =
+    List.map
+      (fun n ->
+        let g =
+          Gen.erdos_renyi_connected (Prng.create 31) ~n
+            ~p:(12.0 /. float_of_int n) ~w_max:4
+        in
+        let acc_s = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+        let (_ : Engine.stats), mw_short =
+          minor_words (fun () -> scale_wave ~graph:g ~acc:acc_s ~k:k_short)
+        in
+        let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+        let (stats, mw_long), dt =
+          time (fun () ->
+              minor_words (fun () -> scale_wave ~graph:g ~acc ~k:k_long))
+        in
+        let words_per_superstep =
+          (mw_long -. mw_short) /. float_of_int (k_long - k_short)
+        in
+        let rounds = Rounds.rounds acc in
+        let rounds_per_sec = float_of_int rounds /. dt in
+        let bytes_per_round =
+          float_of_int (Rounds.bits acc) /. 8.0 /. float_of_int rounds
+        in
+        Printf.printf "%6d %9d %12.0f %12.1f %14.2f\n" n rounds rounds_per_sec
+          bytes_per_round words_per_superstep;
+        ignore (stats : Engine.stats);
+        (n, rounds, rounds_per_sec, bytes_per_round, words_per_superstep, dt))
+      ns
+  in
+  let worst_words =
+    List.fold_left
+      (fun m (_, _, _, _, w, _) -> Float.max m w)
+      neg_infinity wave_rows
+  in
+  (* Part 2: the full sparsify -> Laplacian solve -> min-cost flow pipeline
+     at the same sizes.  The CG preconditioner backend and randomized probe
+     certificate keep preprocessing free of dense O(n^3) factorization, so
+     n = 8192 is reachable; accounting is identical to the LU backend. *)
+  Printf.printf "%6s %9s %12s %12s %12s %9s\n" "n" "rounds" "lap-rounds"
+    "rounds/sec" "bytes/round" "seconds";
+  let pipe_rows =
+    List.map
+      (fun n ->
+        let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+        let g =
+          Gen.erdos_renyi_connected (Prng.create 11) ~n
+            ~p:(12.0 /. float_of_int n) ~w_max:8
+        in
+        let result, dt =
+          time (fun () ->
+              Rounds.with_phase acc "scale" (fun () ->
+                  let s =
+                    Solver.preprocess ~accountant:acc ~prng:(Prng.create 23)
+                      ~graph:g ~t:4 ~k:3 ~certify:(`Probe 16) ~backend:`Cg ()
+                  in
+                  let prng = Prng.create 29 in
+                  let b =
+                    Vec.mean_center
+                      (Vec.init n (fun _ -> Prng.gaussian prng))
+                  in
+                  let r = Solver.solve ~accountant:acc s ~b ~eps:1e-6 in
+                  (* The min-cost-flow tail runs on a fixed-size instance
+                     (the IPM's declared normal-solve cost is n-independent
+                     here), so its rounds are checkpointed out of the
+                     scaling curve but still part of the pipeline total. *)
+                  let laplacian_rounds = Rounds.checkpoint acc in
+                  let net =
+                    Network.random (Prng.create 5) ~n:10 ~density:0.3
+                      ~max_capacity:4 ~max_cost:4
+                  in
+                  let f = Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create 7) net in
+                  ( r.Solver.iterations,
+                    laplacian_rounds,
+                    f.Mcmf_lp.value,
+                    f.Mcmf_lp.cost )))
+        in
+        let iters, lap_rounds, v, c = result in
+        let rounds = Rounds.rounds acc in
+        let bits = Rounds.bits acc in
+        let rounds_per_sec = float_of_int rounds /. dt in
+        let bytes_per_round = float_of_int bits /. 8.0 /. float_of_int rounds in
+        Printf.printf "%6d %9d %12d %12.0f %12.1f %9.1f\n" n rounds lap_rounds
+          rounds_per_sec bytes_per_round dt;
+        (n, rounds, lap_rounds, bits, rounds_per_sec, bytes_per_round, dt,
+         iters, v, c))
+      ns
+  in
+  (* Every charged round fits the model: at bandwidth B a round carries at
+     most n broadcasts of B bits, so total bits <= rounds * n * B. *)
+  let worst_fill =
+    List.fold_left
+      (fun m (n, rounds, _, bits, _, _, _, _, _, _) ->
+        let capacity =
+          float_of_int rounds *. float_of_int n
+          *. float_of_int (Model.bandwidth ~n)
+        in
+        Float.max m (float_of_int bits /. capacity))
+      0.0 pipe_rows
+  in
+  let n_top = List.fold_left (fun m n -> Stdlib.max m n) 0 ns in
+  note
+    "claims: the run_soa superstep loop allocates ~nothing (amortized minor\n\
+     words per superstep within noise of zero); pipeline bits never exceed\n\
+     the model's per-round broadcast capacity; the sweep reaches the\n\
+     requested top size (8192 unless LBCC_SCALE_MAX_N lowers it).\n";
+  let row_json (n, rounds, lap_rounds, bits, rps, bpr, dt, iters, v, c) =
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("sparsify_solve_rounds", Json.Int lap_rounds);
+        ("bits", Json.Int bits);
+        ("rounds_per_sec", Json.Float rps);
+        ("bytes_per_round", Json.Float bpr);
+        ("seconds", Json.Float dt);
+        ("solve_iterations", Json.Int iters);
+        ("mcmf_value", Json.Int v);
+        ("mcmf_cost", Json.Int c);
+      ]
+  in
+  let wave_json (n, rounds, rps, bpr, words, dt) =
+    Json.Obj
+      [
+        ("n", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("rounds_per_sec", Json.Float rps);
+        ("bytes_per_round", Json.Float bpr);
+        ("minor_words_per_superstep", Json.Float words);
+        ("seconds", Json.Float dt);
+      ]
+  in
+  report ~experiment:"SCALE"
+    ~title:"flat-core scaling: throughput and allocation up to n=8192"
+    ~extra:
+      [
+        ("max_n", Json.Int max_n);
+        ("sizes", Json.Arr (List.map (fun n -> Json.Int n) ns));
+        ("engine", Json.String (Engine.impl_name (Engine.default_impl ())));
+        ("wave_supersteps", Json.Int k_long);
+        ("wave", Json.Arr (List.map wave_json wave_rows));
+        ("pipeline", Json.Arr (List.map row_json pipe_rows));
+      ]
+    [
+      cl ~direction:Report.Le
+        "run_soa amortized minor words per superstep (hot path)" worst_words
+        64.0;
+      cl ~direction:Report.Le
+        "pipeline bits / model broadcast capacity (worst n)" worst_fill 1.0;
+      cl ~direction:Report.Ge "largest pipeline size completed"
+        (float_of_int
+           (List.fold_left
+              (fun m (n, _, _, _, _, _, _, _, _, _) -> Stdlib.max m n)
+              0 pipe_rows))
+        (float_of_int n_top);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let micro () =
@@ -1332,12 +1539,14 @@ let all_experiments =
     ("BYZ", fun () -> Some (byz ()));
     ("PERF", fun () -> Some (perf ()));
     ("BATCH", fun () -> Some (batch ()));
+    ("SCALE", fun () -> Some (scale ()));
     ("micro", fun () -> micro (); None);
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [E1..E16|BYZ|PERF|BATCH|micro]... [--json] [--out DIR]\n\
+    "usage: main.exe [E1..E16|BYZ|PERF|BATCH|SCALE|micro]... [--json] [--out \
+     DIR]\n\
      --json writes one BENCH_<EXP>.json per selected experiment (micro has\n\
      no report); --out selects the output directory (default: cwd).\n\
      Exit codes: 0 all claims hold; 1 a claim left its bound; 2 usage;\n\

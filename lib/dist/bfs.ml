@@ -1,5 +1,6 @@
 open Lbcc_util
 module Engine = Lbcc_net.Engine
+module Packed = Lbcc_net.Packed
 module Model = Lbcc_net.Model
 module Reliable = Lbcc_net.Reliable
 module Byzantine = Lbcc_net.Byzantine
@@ -65,7 +66,8 @@ let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~n ~source in
   let states, stats =
-    Engine.run ?accountant ?faults ~tamper ~label:"bfs" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~codec:Packed.int_codec ~label:"bfs"
+      ~model ~graph
       ~size_bits:(fun d -> Bits.int_bits d)
       ~init ~step
       ~max_supersteps:(max_supersteps n)

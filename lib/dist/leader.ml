@@ -1,4 +1,5 @@
 module Engine = Lbcc_net.Engine
+module Packed = Lbcc_net.Packed
 module Reliable = Lbcc_net.Reliable
 module Byzantine = Lbcc_net.Byzantine
 module Graph = Lbcc_graph.Graph
@@ -77,7 +78,8 @@ let run ?accountant ?faults ~model ~graph () =
   let n = check_input ~model ~graph in
   let init, step = program ~n ~topology:model.Model.topology in
   let states, stats =
-    Engine.run ?accountant ?faults ~tamper ~label:"leader" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~codec:Packed.int_codec
+      ~label:"leader" ~model ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
       ~init ~step
       ~max_supersteps:(max_supersteps n)

@@ -1,4 +1,5 @@
 module Engine = Lbcc_net.Engine
+module Packed = Lbcc_net.Packed
 module Model = Lbcc_net.Model
 module Reliable = Lbcc_net.Reliable
 module Byzantine = Lbcc_net.Byzantine
@@ -84,7 +85,8 @@ let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~graph ~source in
   let states, stats =
-    Engine.run ?accountant ?faults ~tamper ~label:"sssp" ~model ~graph
+    Engine.run ?accountant ?faults ~tamper ~codec:Packed.float_codec
+      ~label:"sssp" ~model ~graph
       ~size_bits:(fun d -> Payload.weight_bits d)
       ~init ~step
       ~max_supersteps:(max_supersteps n)

@@ -43,6 +43,7 @@ val preprocess :
   ?t_scale:float ->
   ?k:int ->
   ?certify:[ `Exact | `Power of int | `Probe of int ] ->
+  ?backend:[ `Lu | `Cg ] ->
   prng:Prng.t ->
   graph:Graph.t ->
   unit ->
@@ -53,6 +54,17 @@ val preprocess :
     randomized probing.  [phases] relabels the accountant phase nesting for
     the charges (default [["solve"; "preprocess"]]; the service layer passes
     [["prepare"]]).
+
+    [backend] selects the vertex-internal preconditioner solve: [`Lu] (the
+    default) factors [L_H] densely once — exact, [O(n^3)] setup, [O(n^2)]
+    memory; [`Cg] answers each preconditioner application by
+    Jacobi-preconditioned CG over the sparse [L_H] to a tolerance far below
+    the outer accuracy — [O(m_H)] memory, the choice for [n] in the
+    thousands (the SCALE bench runs [n = 8192] this way).  Round/bit
+    accounting is identical under either backend: the preconditioner solve
+    is vertex-internal and free in the model; only wall-clock and memory
+    differ.  Pair [`Cg] with [~certify:(`Probe _)] — the default [`Power]
+    certificate densely factors both Laplacians, which defeats the point.
     @raise Invalid_argument if [graph] is not connected. *)
 
 val graph : t -> Graph.t

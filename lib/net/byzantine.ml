@@ -26,7 +26,10 @@ let forged_digest ~vround ~subject =
 
 type ('state, 'msg) vertex = {
   id : int;
-  nbrs : int list;
+  nbrs : int array;
+      (* The protocol is clique-only, so every vertex shares ONE [0..n-1]
+         array and the iteration helpers skip [id] on the fly — n explicit
+         (n-1)-element lists were an O(n^2) setup cost. *)
   mutable inner : 'state;
   mutable inner_live : bool;
   mutable vround : int; (* 0 until the first inner step runs *)
@@ -150,10 +153,11 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
     | Some f -> Fault.equivocates f && Fault.is_byzantine f v
     | None -> false
   in
+  let all_ids = Array.init n Fun.id in
   let init_vertex v =
     {
       id = v;
-      nbrs = List.filter (fun u -> u <> v) (List.init n Fun.id);
+      nbrs = all_ids;
       inner = init v;
       inner_live = true;
       inner_steps = 0;
@@ -171,12 +175,23 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
       served = 0;
     }
   in
-  let expected v =
-    List.filter
-      (fun u ->
-        (not (Hashtbl.mem v.halted_nbrs u)) && not (Hashtbl.mem v.suspected u))
-      v.nbrs
+  (* Neighbors still expected to participate: not self, not halted, not
+     suspected — iterated in place (ascending id order, as the legacy
+     filtered lists were), never materialized. *)
+  let is_expected v u =
+    u <> v.id
+    && (not (Hashtbl.mem v.halted_nbrs u))
+    && not (Hashtbl.mem v.suspected u)
   in
+  let iter_expected v f =
+    Array.iter (fun u -> if is_expected v u then f u) v.nbrs
+  in
+  let count_expected v =
+    Array.fold_left
+      (fun acc u -> if is_expected v u then acc + 1 else acc)
+      0 v.nbrs
+  in
+  let any_expected v = Array.exists (is_expected v) v.nbrs in
   let ballot_box v subject =
     match Hashtbl.find_opt v.ballots subject with
     | Some box -> box
@@ -220,13 +235,11 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
   (* End of a virtual round: everything still unaccepted is charged as a
      quorum failure and its subject suspected from now on. *)
   let finalize v =
-    List.iter
-      (fun s ->
+    iter_expected v (fun s ->
         if not (Hashtbl.mem v.accepted s) then begin
           v.failures <- v.failures + 1;
           Hashtbl.replace v.suspected s ()
         end)
-      (expected v)
   in
   let ingest_send v (sender, pkt) payload =
     if pkt.halted then Hashtbl.replace v.halted_nbrs sender ()
@@ -268,8 +281,7 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
   in
   let tally_and_serve v =
     let serve = ref [] in
-    List.iter
-      (fun s ->
+    iter_expected v (fun s ->
         let box = Hashtbl.find_opt v.ballots s in
         let ballots =
           match box with
@@ -292,14 +304,13 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
                      backed digest — the dissenting echo is the broadcast
                      model's lazy pull request — or failed to vote at all,
                      which means a drop destroyed its copy. *)
-                  let everyone = 1 + List.length (expected v) in
+                  let everyone = 1 + count_expected v in
                   if
                     List.exists (fun (_, d) -> d <> best) ballots
                     || List.length ballots < everyone
                   then serve := (s, c) :: !serve
               | _ -> ())
-            end)
-      (expected v);
+            end);
     let serve = List.rev !serve in
     v.served <- v.served + List.length serve;
     serve
@@ -327,7 +338,7 @@ let run ?accountant ?tracer ?(label = "byzantine") ?(max_supersteps = 100_000)
           advance v
         end;
         if v.zombie then begin
-          let everyone_done = expected v = [] in
+          let everyone_done = not (any_expected v) in
           let pkt = { vround = v.vround; halted = true; body = Send None } in
           (v, Some pkt, not everyone_done)
         end

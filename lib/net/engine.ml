@@ -19,6 +19,42 @@ exception
 
 type on_timeout = [ `Truncate | `Raise ]
 
+(* ------------------------------------------------------------------ *)
+(* Implementation selection                                            *)
+
+type impl = Boxed | Flat
+
+let impl_name = function Boxed -> "boxed" | Flat -> "flat"
+
+let impl_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "boxed" | "legacy" -> Some Boxed
+  | "flat" | "soa" -> Some Flat
+  | _ -> None
+
+(* The flat core is the default; LBCC_ENGINE=boxed is the one-release
+   escape hatch back to the legacy implementation (the differential
+   harness runs both and asserts bit-identity, so switching is a
+   wall-clock knob only). *)
+let initial_impl () =
+  match Sys.getenv_opt "LBCC_ENGINE" with
+  | None | Some "" -> Flat
+  | Some s -> (
+      match impl_of_string s with
+      | Some i -> i
+      | None ->
+          Printf.eprintf
+            "lbcc: ignoring unknown LBCC_ENGINE=%S (expected boxed or flat)\n%!"
+            s;
+          Flat)
+
+let default_impl_ref = ref (initial_impl ())
+let default_impl () = !default_impl_ref
+let set_default_impl i = default_impl_ref := i
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+
 (* The accountant's open-phase path at the moment the cap fired; an engine
    without an accountant reports the bare label's own scope. *)
 let phase_of accountant =
@@ -58,7 +94,47 @@ let finish ~label ~on_timeout ~accountant ~live ~supersteps ~rounds
    a superstep of a small protocol is far cheaper than a dispatch. *)
 let step_chunk n = Stdlib.max 16 ((n + 63) / 64)
 
-let run ?pool ?accountant ?tracer ?(label = "engine")
+(* Fault verdicts are replayed at send time, sender-major, in the same
+   adjacency order as the historical delivery loop, so stateful budgets
+   (adversarial drop quotas) burn in the identical query sequence.  Only
+   non-default verdicts are stored, keyed (src, dst) as
+   [(copies, tamper_salt)]; the next superstep's gather consumes them. *)
+let record_overrides faults overrides ~round ~is_present ~replay_adj ~n =
+  match faults with
+  | None -> ()
+  | Some f ->
+      Hashtbl.reset overrides;
+      let record ~src ~dst =
+        let c = Fault.copies f ~round ~src ~dst in
+        let salt = if c = 0 then None else Fault.tamper f ~round ~src ~dst in
+        if c <> 1 || Option.is_some salt then
+          Hashtbl.replace overrides (src, dst) (c, salt)
+      in
+      for v = 0 to n - 1 do
+        if is_present v then
+          match replay_adj with
+          | None ->
+              for u = 0 to n - 1 do
+                if u <> v then record ~src:v ~dst:u
+              done
+          | Some adj -> Array.iter (fun u -> record ~src:v ~dst:u) adj.(v)
+      done
+
+(* The graph's own adjacency order, materialized only under an active fault
+   plan (replay must consult deliveries in the historical order, which is
+   not the sorted gather order). *)
+let replay_adj_of ~model ~graph ~faults =
+  match (model.Model.topology, faults) with
+  | Model.Input_graph, Some _ ->
+      Some
+        (Array.init (Graph.n graph) (fun v ->
+             Array.of_list (List.map fst (Graph.neighbors graph v))))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Legacy boxed implementation                                         *)
+
+let run_boxed ?pool ?accountant ?tracer ?(label = "engine")
     ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults
     ?(tamper = fun ~salt:_ msg -> msg) ~model ~graph ~size_bits ~init ~step () =
   (match model.Model.discipline with
@@ -72,30 +148,23 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
      Input_graph keeps two int-array views: ascending sender order for the
      inbox gather, and the graph's own adjacency order for replaying the
      fault plan exactly as the historical delivery loop consulted it. *)
-  let gather_adj, replay_adj =
+  let gather_adj =
     match model.Model.topology with
-    | Model.Clique -> (None, None)
+    | Model.Clique -> None
     | Model.Input_graph ->
-        let original =
-          Array.init n (fun v ->
-              Array.of_list (List.map fst (Graph.neighbors graph v)))
-        in
-        let sorted =
-          Array.map
-            (fun a ->
-              let s = Array.copy a in
-              Array.sort Int.compare s;
-              s)
-            original
-        in
-        (Some sorted, if Option.is_none faults then None else Some original)
+        Some
+          (Array.init n (fun v ->
+               let a =
+                 Array.of_list (List.map fst (Graph.neighbors graph v))
+               in
+               Array.sort Int.compare a;
+               a))
   in
+  let replay_adj = replay_adj_of ~model ~graph ~faults in
   let states = Array.init n init in
   let live = Array.make n true in
   (* Messages broadcast in superstep [s], consumed by the gather in [s+1].
-     [overrides] holds the fault plan's verdicts for those messages —
-     only entries with a copy count <> 1 or a tamper salt — keyed
-     (src, dst) as [(copies, tamper_salt)]. *)
+     [overrides] holds the fault plan's verdicts for those messages. *)
   let prev_outgoing = ref (Array.make n None) in
   let overrides : (int * int, int * int option) Hashtbl.t =
     Hashtbl.create 16
@@ -175,33 +244,9 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
           total_bits := !total_bits + bits;
           max_bits := Stdlib.max !max_bits bits
     done;
-    (* Replay the fault plan at send time, sender-major in the adjacency
-       order of the historical delivery loop, so stateful budgets
-       (adversarial drop quotas) burn in the identical query sequence.
-       The verdicts are consumed by the next superstep's gather. *)
-    (match faults with
-    | None -> ()
-    | Some f ->
-        Hashtbl.reset overrides;
-        let record ~src ~dst =
-          let c = Fault.copies f ~round ~src ~dst in
-          let salt =
-            if c = 0 then None else Fault.tamper f ~round ~src ~dst
-          in
-          if c <> 1 || Option.is_some salt then
-            Hashtbl.replace overrides (src, dst) (c, salt)
-        in
-        for v = 0 to n - 1 do
-          match outgoing.(v) with
-          | None -> ()
-          | Some _ -> (
-              match replay_adj with
-              | None ->
-                  for u = 0 to n - 1 do
-                    if u <> v then record ~src:v ~dst:u
-                  done
-              | Some adj -> Array.iter (fun u -> record ~src:v ~dst:u) adj.(v))
-        done);
+    record_overrides faults overrides ~round
+      ~is_present:(fun v -> Option.is_some outgoing.(v))
+      ~replay_adj ~n;
     prev_outgoing := outgoing;
     let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
     rounds := !rounds + cost;
@@ -214,6 +259,358 @@ let run ?pool ?accountant ?tracer ?(label = "engine")
   finish ~label ~on_timeout ~accountant ~live ~supersteps:!supersteps
     ~rounds:!rounds ~messages_sent:!messages_sent ~total_bits:!total_bits
     states
+
+(* ------------------------------------------------------------------ *)
+(* Flat implementation                                                 *)
+
+(* Double-buffered message slots, reused every superstep.  With a codec the
+   payloads live packed in shared [Bytes] buffers (no per-message boxing in
+   the store); without one they live in reusable ['msg option] arrays —
+   still allocation-free at the store layer, the values themselves are
+   whatever the protocol broadcasts. *)
+type 'msg store = {
+  s_mem : int -> bool;
+  s_get : int -> 'msg;
+  s_set : int -> 'msg -> unit;
+  s_clear : unit -> unit; (* empty the current buffer *)
+  s_swap : unit -> unit; (* current becomes previous *)
+  s_mem_prev : int -> bool;
+  s_get_prev : int -> 'msg;
+}
+
+let boxed_store n =
+  let cur = ref (Array.make n None) and prev = ref (Array.make n None) in
+  {
+    s_mem = (fun v -> Option.is_some !cur.(v));
+    s_get =
+      (fun v ->
+        match !cur.(v) with
+        | Some m -> m
+        | None -> invalid_arg "Engine: no message in current slot");
+    s_set = (fun v m -> !cur.(v) <- Some m);
+    s_clear = (fun () -> Array.fill !cur 0 n None);
+    s_swap =
+      (fun () ->
+        let t = !prev in
+        prev := !cur;
+        cur := t);
+    s_mem_prev = (fun v -> Option.is_some !prev.(v));
+    s_get_prev =
+      (fun v ->
+        match !prev.(v) with
+        | Some m -> m
+        | None -> invalid_arg "Engine: no message in previous slot");
+  }
+
+let packed_store codec n =
+  let cur = ref (Packed.buffer codec ~n) and prev = ref (Packed.buffer codec ~n) in
+  {
+    s_mem = (fun v -> Packed.mem !cur v);
+    s_get = (fun v -> Packed.get !cur v);
+    s_set = (fun v m -> Packed.set !cur v m);
+    s_clear = (fun () -> Packed.clear !cur);
+    s_swap =
+      (fun () ->
+        let t = !prev in
+        prev := !cur;
+        cur := t);
+    s_mem_prev = (fun v -> Packed.mem !prev v);
+    s_get_prev = (fun v -> Packed.get !prev v);
+  }
+
+let run_flat ?pool ?accountant ?tracer ?(label = "engine")
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults
+    ?(tamper = fun ~salt:_ msg -> msg) ?codec ~model ~graph ~size_bits ~init
+    ~step () =
+  (match model.Model.discipline with
+  | Model.Broadcast -> ()
+  | Model.Unicast -> invalid_arg "Engine.run: only broadcast disciplines are simulated");
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let faults = active_faults faults in
+  let n = Graph.n graph in
+  (* In-neighbor CSR by counting sort keyed (src, dst): segment order equals
+     the boxed engine's sorted-adjacency gather, built without intermediate
+     per-vertex lists.  Clique receivers stay implicit. *)
+  let plan =
+    match model.Model.topology with
+    | Model.Clique -> None
+    | Model.Input_graph -> Some (Packed.plan graph)
+  in
+  let replay_adj = replay_adj_of ~model ~graph ~faults in
+  let states = Array.init n init in
+  let live = Array.make n true in
+  let store = match codec with Some c -> packed_store c n | None -> boxed_store n in
+  let overrides : (int * int, int * int option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let supersteps = ref 0 and rounds = ref 0 in
+  let messages_sent = ref 0 and total_bits = ref 0 in
+  let bandwidth = Model.bandwidth ~n in
+  let chunk = step_chunk n in
+  let any_live () = Array.exists Fun.id live in
+  let copies_of ~src ~dst =
+    if Option.is_none faults then (1, None)
+    else
+      match Hashtbl.find_opt overrides (src, dst) with
+      | Some verdict -> verdict
+      | None -> (1, None)
+  in
+  (* Same descending cons as the boxed gather: ascending inbox, duplicated
+     deliveries adjacent. *)
+  let gather v =
+    let inbox = ref [] in
+    let take u =
+      if store.s_mem_prev u then begin
+        let c, salt = copies_of ~src:u ~dst:v in
+        if c > 0 then begin
+          let msg = store.s_get_prev u in
+          let msg =
+            match salt with None -> msg | Some salt -> tamper ~salt msg
+          in
+          for _ = 1 to c do
+            inbox := (u, msg) :: !inbox
+          done
+        end
+      end
+    in
+    (match plan with
+    | None ->
+        for u = n - 1 downto 0 do
+          if u <> v then take u
+        done
+    | Some p ->
+        let lo = p.Packed.off.(v) in
+        for i = p.Packed.off.(v + 1) - 1 downto lo do
+          take p.Packed.srcs.(i)
+        done);
+    !inbox
+  in
+  let round_ref = ref 0 in
+  let body lo hi =
+    let round = !round_ref in
+    for v = lo to hi - 1 do
+      if live.(v) then begin
+        let inbox = gather v in
+        let state', msg, continue = step ~round ~vertex:v states.(v) inbox in
+        states.(v) <- state';
+        (match msg with Some m -> store.s_set v m | None -> ());
+        if not continue then live.(v) <- false
+      end
+    done
+  in
+  while any_live () && !supersteps < max_supersteps do
+    incr supersteps;
+    let round = !supersteps in
+    round_ref := round;
+    apply_crashes faults live ~round;
+    store.s_clear ();
+    Pool.parallel_for pool ~chunk ~n body;
+    let max_bits = ref 0 in
+    for v = 0 to n - 1 do
+      if store.s_mem v then begin
+        let bits = size_bits (store.s_get v) in
+        incr messages_sent;
+        total_bits := !total_bits + bits;
+        max_bits := Stdlib.max !max_bits bits
+      end
+    done;
+    record_overrides faults overrides ~round ~is_present:store.s_mem ~replay_adj
+      ~n;
+    store.s_swap ();
+    let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
+    rounds := !rounds + cost;
+    (match accountant with
+    | Some acc -> Rounds.charge acc ~label ~bits:(Stdlib.max 1 !max_bits) ~rounds:cost
+    | None -> ())
+  done;
+  Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
+    ~supersteps:!supersteps ~messages:!messages_sent ();
+  finish ~label ~on_timeout ~accountant ~live ~supersteps:!supersteps
+    ~rounds:!rounds ~messages_sent:!messages_sent ~total_bits:!total_bits
+    states
+
+let run ?impl ?pool ?accountant ?tracer ?label ?max_supersteps ?on_timeout
+    ?faults ?tamper ?codec ~model ~graph ~size_bits ~init ~step () =
+  match (match impl with Some i -> i | None -> !default_impl_ref) with
+  | Boxed ->
+      run_boxed ?pool ?accountant ?tracer ?label ?max_supersteps ?on_timeout
+        ?faults ?tamper ~model ~graph ~size_bits ~init ~step ()
+  | Flat ->
+      run_flat ?pool ?accountant ?tracer ?label ?max_supersteps ?on_timeout
+        ?faults ?tamper ?codec ~model ~graph ~size_bits ~init ~step ()
+
+(* ------------------------------------------------------------------ *)
+(* Struct-of-arrays entry point                                        *)
+
+type soa_inbox = {
+  mutable count : int;
+  senders : int array;
+  payloads : int array;
+}
+
+type soa_out = { mutable send : bool; mutable value : int }
+
+type soa_step = round:int -> vertex:int -> soa_inbox -> soa_out -> bool
+
+let run_soa ?pool ?accountant ?tracer ?(label = "engine")
+    ?(max_supersteps = 1_000_000) ?(on_timeout = `Truncate) ?faults
+    ?(tamper = fun ~salt:_ msg -> msg) ~model ~graph ~size_bits ~step () =
+  (match model.Model.discipline with
+  | Model.Broadcast -> ()
+  | Model.Unicast ->
+      invalid_arg "Engine.run_soa: only broadcast disciplines are simulated");
+  Lbcc_obs.Trace.span tracer label @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let faults = active_faults faults in
+  let n = Graph.n graph in
+  let plan =
+    match model.Model.topology with
+    | Model.Clique -> None
+    | Model.Input_graph -> Some (Packed.plan graph)
+  in
+  let replay_adj = replay_adj_of ~model ~graph ~faults in
+  let live = Array.make n true in
+  (* Double-buffered flat payload slots + presence bytemaps. *)
+  let pay_a = Array.make n 0 and pay_b = Array.make n 0 in
+  let pres_a = Bytes.make n '\000' and pres_b = Bytes.make n '\000' in
+  let cur_pay = ref pay_a and prev_pay = ref pay_b in
+  let cur_pres = ref pres_a and prev_pres = ref pres_b in
+  let overrides : (int * int, int * int option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let supersteps = ref 0 and rounds = ref 0 in
+  let messages_sent = ref 0 and total_bits = ref 0 in
+  let bandwidth = Model.bandwidth ~n in
+  let chunk = step_chunk n in
+  let nchunks = (n + chunk - 1) / chunk in
+  (* Preallocated per-chunk scratch: an inbox view (capacity = duplicated
+     worst case) and an out cell.  Chunk [lo/chunk] owns slot [lo/chunk] at
+     every pool size, and the sequential fallback (one range [0, n)) maps
+     to slot 0 — either way no two concurrent ranges share scratch. *)
+  let cap =
+    Stdlib.max 1
+      (2
+      * match plan with None -> Stdlib.max 0 (n - 1) | Some p -> Packed.max_in_degree p)
+  in
+  let scratch =
+    Array.init (Stdlib.max 1 nchunks) (fun _ ->
+        { count = 0; senders = Array.make cap 0; payloads = Array.make cap 0 })
+  in
+  let outs =
+    Array.init (Stdlib.max 1 nchunks) (fun _ -> { send = false; value = 0 })
+  in
+  let any_live () = Array.exists Fun.id live in
+  let copies_of ~src ~dst =
+    if Option.is_none faults then (1, None)
+    else
+      match Hashtbl.find_opt overrides (src, dst) with
+      | Some verdict -> verdict
+      | None -> (1, None)
+  in
+  (* Ascending fill, duplicated deliveries adjacent: the same inbox order
+     the list-based engines produce.  [take] is bound once here — defining
+     it inside [gather_into] would allocate a closure per vertex per
+     superstep, which is exactly what this path exists to avoid. *)
+  let take ib v u =
+    if Bytes.unsafe_get !prev_pres u <> '\000' then begin
+      let c, salt = copies_of ~src:u ~dst:v in
+      if c > 0 then begin
+        let m = Array.unsafe_get !prev_pay u in
+        let m = match salt with None -> m | Some salt -> tamper ~salt m in
+        for _ = 1 to c do
+          ib.senders.(ib.count) <- u;
+          ib.payloads.(ib.count) <- m;
+          ib.count <- ib.count + 1
+        done
+      end
+    end
+  in
+  let gather_into ib v =
+    ib.count <- 0;
+    match plan with
+    | None ->
+        for u = 0 to n - 1 do
+          if u <> v then take ib v u
+        done
+    | Some p ->
+        for i = p.Packed.off.(v) to p.Packed.off.(v + 1) - 1 do
+          take ib v p.Packed.srcs.(i)
+        done
+  in
+  let round_ref = ref 0 in
+  let is_present v = Bytes.get !cur_pres v <> '\000' in
+  (* One closure for the whole run (and the bit-maximum cell hoisted too):
+     at pool size 1 the superstep loop allocates nothing — the SCALE bench
+     pins this with Gc.minor_words. *)
+  let body lo hi =
+    let ci = lo / chunk in
+    let ib = scratch.(ci) and out = outs.(ci) in
+    let round = !round_ref in
+    for v = lo to hi - 1 do
+      if live.(v) then begin
+        gather_into ib v;
+        out.send <- false;
+        let continue = step ~round ~vertex:v ib out in
+        if out.send then begin
+          Array.unsafe_set !cur_pay v out.value;
+          Bytes.unsafe_set !cur_pres v '\001'
+        end;
+        if not continue then live.(v) <- false
+      end
+    done
+  in
+  let max_bits = ref 0 in
+  while any_live () && !supersteps < max_supersteps do
+    incr supersteps;
+    let round = !supersteps in
+    round_ref := round;
+    apply_crashes faults live ~round;
+    Bytes.fill !cur_pres 0 n '\000';
+    Pool.parallel_for pool ~chunk ~n body;
+    max_bits := 0;
+    for v = 0 to n - 1 do
+      if Bytes.unsafe_get !cur_pres v <> '\000' then begin
+        let bits = size_bits (Array.unsafe_get !cur_pay v) in
+        incr messages_sent;
+        total_bits := !total_bits + bits;
+        max_bits := Stdlib.max !max_bits bits
+      end
+    done;
+    record_overrides faults overrides ~round ~is_present ~replay_adj ~n;
+    let tp = !prev_pay and ts = !prev_pres in
+    prev_pay := !cur_pay;
+    prev_pres := !cur_pres;
+    cur_pay := tp;
+    cur_pres := ts;
+    let cost = Stdlib.max 1 (Lbcc_util.Bits.ceil_div (Stdlib.max 1 !max_bits) bandwidth) in
+    rounds := !rounds + cost;
+    (match accountant with
+    | Some acc -> Rounds.charge acc ~label ~bits:(Stdlib.max 1 !max_bits) ~rounds:cost
+    | None -> ())
+  done;
+  Lbcc_obs.Trace.add tracer ~rounds:!rounds ~bits:!total_bits
+    ~supersteps:!supersteps ~messages:!messages_sent ();
+  let converged = not (Array.exists Fun.id live) in
+  if (not converged) && on_timeout = `Raise then
+    raise
+      (Timeout
+         {
+           label;
+           supersteps = !supersteps;
+           rounds = !rounds;
+           phase = phase_of accountant;
+         });
+  {
+    supersteps = !supersteps;
+    rounds = !rounds;
+    messages_sent = !messages_sent;
+    total_bits = !total_bits;
+    converged;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unicast engine                                                      *)
 
 type ('state, 'msg) unicast_step =
   round:int ->

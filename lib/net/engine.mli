@@ -23,12 +23,34 @@
     vertex programs (BFS baseline, leader election, aggregation) and the unit
     tests of the charging rules.
 
+    {2 Implementations}
+
+    Two interchangeable cores back {!run} (DESIGN.md §10):
+
+    - {!Flat} (the default): reusable double-buffered message slots — packed
+      [Bytes] buffers when a {!Packed.codec} is supplied, ['msg option]
+      arrays otherwise — and a counting-sort CSR delivery plan instead of
+      per-vertex adjacency lists.  The steady-state message path allocates
+      only the inbox lists handed to the step function.
+    - {!Boxed}: the legacy implementation, kept verbatim as the differential
+      baseline.
+
+    Both produce bit-identical states, stats and accountant fingerprints for
+    every protocol and fault tier ([test/test_engine_diff.ml] pins this);
+    the choice is a wall-clock knob.  The initial default comes from the
+    [LBCC_ENGINE] environment variable ([boxed] / [flat], default [flat]);
+    {!set_default_impl} overrides it at runtime (the CLI's [--engine] flag).
+
+    Protocols with [int] payloads that want a fully allocation-free hot
+    path use {!run_soa}, which trades the polymorphic state/inbox types for
+    flat arrays and preallocated scratch (see {!Vstate} for state columns).
+
     {2 Parallel execution}
 
     The per-vertex step phase runs on a {!Lbcc_util.Pool} (the shared
     default pool unless [?pool] is given), chunked over vertex ranges.
     Results are bit-identical at every pool size: each vertex assembles its
-    own inbox from the previous superstep's [outgoing] array in ascending
+    own inbox from the previous superstep's message slots in ascending
     sender order (reproducing the historical push-delivery order exactly),
     fault coins are flipped in a sequential phase that replays the
     historical sender-major query sequence, and a chunk writes only the
@@ -68,7 +90,25 @@ exception
 
 type on_timeout = [ `Truncate | `Raise ]
 
+(** {2 Implementation selection} *)
+
+type impl = Boxed | Flat
+
+val impl_name : impl -> string
+(** ["boxed"] / ["flat"]. *)
+
+val impl_of_string : string -> impl option
+(** Case-insensitive; accepts ["boxed"] / ["legacy"] and ["flat"] / ["soa"]. *)
+
+val default_impl : unit -> impl
+(** The implementation {!run} uses when [?impl] is omitted.  Initially from
+    [LBCC_ENGINE] (an unknown value warns on stderr and falls back to
+    {!Flat}). *)
+
+val set_default_impl : impl -> unit
+
 val run :
+  ?impl:impl ->
   ?pool:Lbcc_util.Pool.t ->
   ?accountant:Rounds.t ->
   ?tracer:Lbcc_obs.Trace.t ->
@@ -77,6 +117,7 @@ val run :
   ?on_timeout:on_timeout ->
   ?faults:Fault.t ->
   ?tamper:(salt:int -> 'msg -> 'msg) ->
+  ?codec:'msg Packed.codec ->
   model:Model.t ->
   graph:Lbcc_graph.Graph.t ->
   size_bits:('msg -> int) ->
@@ -89,6 +130,11 @@ val run :
     broadcast disciplines are supported.  A crashed vertex stops stepping
     and sending from its crash superstep on; its last state is kept.
 
+    [?impl] selects the engine core (default {!default_impl}).  [?codec]
+    lets the {!Flat} core keep in-flight payloads packed in shared [Bytes]
+    buffers instead of boxed per sender; it must be lossless on every
+    payload the protocol broadcasts, and is ignored by {!Boxed}.
+
     [?tamper] gives the fault plan's corruption/equivocation verdicts
     (see {!Fault.tamper}) a concrete payload transform: when a delivery is
     tampered the receiver sees [tamper ~salt msg] instead of [msg].  It
@@ -98,6 +144,53 @@ val run :
     corrupted.
     @raise Invalid_argument on a unicast model.
     @raise Timeout when the cap is hit under [?on_timeout:`Raise]. *)
+
+(** {2 Struct-of-arrays entry point} *)
+
+type soa_inbox = {
+  mutable count : int;  (** live prefix length of the two arrays below *)
+  senders : int array;
+  payloads : int array;
+}
+(** A reused inbox view: entries [0 .. count-1] are valid, ascending by
+    sender, duplicated deliveries adjacent — the same order as {!inbox}.
+    The arrays belong to the engine's per-chunk scratch: read them inside
+    the step call only, never retain them. *)
+
+type soa_out = { mutable send : bool; mutable value : int }
+(** The vertex's broadcast slot for this superstep.  [send] is reset to
+    [false] before every step call; set it to [true] (with [value] filled)
+    to broadcast. *)
+
+type soa_step = round:int -> vertex:int -> soa_inbox -> soa_out -> bool
+(** Returns whether the vertex is still live.  Per-vertex state lives
+    outside the engine in flat columns (see {!Vstate}); the same sharing
+    discipline as {!step} applies — a vertex writes only its own columns'
+    slots. *)
+
+val run_soa :
+  ?pool:Lbcc_util.Pool.t ->
+  ?accountant:Rounds.t ->
+  ?tracer:Lbcc_obs.Trace.t ->
+  ?label:string ->
+  ?max_supersteps:int ->
+  ?on_timeout:on_timeout ->
+  ?faults:Fault.t ->
+  ?tamper:(salt:int -> int -> int) ->
+  model:Model.t ->
+  graph:Lbcc_graph.Graph.t ->
+  size_bits:(int -> int) ->
+  step:soa_step ->
+  unit ->
+  stats
+(** The allocation-free core for [int]-payload protocols: message slots are
+    double-buffered flat arrays, inboxes are filled into preallocated
+    per-chunk scratch, and the step loop body is one closure hoisted out of
+    the superstep loop — at pool size 1 a superstep allocates nothing
+    (the SCALE bench pins [Gc.minor_words] on this path).  Semantics
+    (delivery order, fault replay, charging, timeout) are identical to
+    {!run}; the differential harness compares it against the boxed engine
+    on the BFS protocol across fault tiers. *)
 
 type ('state, 'msg) unicast_step =
   round:int ->

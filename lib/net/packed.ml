@@ -1,0 +1,119 @@
+module Graph = Lbcc_graph.Graph
+
+(* Fixed-width payload codecs and packed per-round message buffers: the
+   flat engine core stores every in-flight broadcast in one shared [Bytes]
+   buffer (slot [v * width] holds vertex [v]'s message) gated by a presence
+   bytemap, instead of an [option] box per message.  Encoders write only
+   inside their own slot, so the parallel step phase may encode from
+   concurrent chunks without synchronization. *)
+
+type 'msg codec = {
+  width : int; (* bytes per encoded message *)
+  encode : Bytes.t -> int -> 'msg -> unit;
+  decode : Bytes.t -> int -> 'msg;
+}
+
+let int_codec =
+  {
+    width = 8;
+    encode = (fun b off v -> Bytes.set_int64_le b off (Int64.of_int v));
+    decode = (fun b off -> Int64.to_int (Bytes.get_int64_le b off));
+  }
+
+(* Floats travel as their IEEE-754 bit pattern, so the round trip is the
+   identity on every value — including NaNs, infinities and -0. *)
+let float_codec =
+  {
+    width = 8;
+    encode = (fun b off v -> Bytes.set_int64_le b off (Int64.bits_of_float v));
+    decode = (fun b off -> Int64.float_of_bits (Bytes.get_int64_le b off));
+  }
+
+type 'msg buffer = {
+  codec : 'msg codec;
+  n : int;
+  present : Bytes.t;
+  data : Bytes.t;
+}
+
+let buffer codec ~n =
+  if n < 0 then invalid_arg "Packed.buffer: negative size";
+  if codec.width < 1 then invalid_arg "Packed.buffer: codec width must be >= 1";
+  {
+    codec;
+    n;
+    present = Bytes.make n '\000';
+    data = Bytes.make (Stdlib.max 1 (n * codec.width)) '\000';
+  }
+
+let length buf = buf.n
+
+(* Only the presence map is cleared: stale payload bytes stay in [data] but
+   are unreachable, because every read is gated on [mem].  The QCheck suite
+   pins this (reuse never leaks a previous round's payload). *)
+let clear buf = Bytes.fill buf.present 0 buf.n '\000'
+
+let set buf v msg =
+  buf.codec.encode buf.data (v * buf.codec.width) msg;
+  Bytes.set buf.present v '\001'
+
+let mem buf v = Bytes.get buf.present v <> '\000'
+
+let get buf v =
+  if not (mem buf v) then invalid_arg "Packed.get: no message in slot";
+  buf.codec.decode buf.data (v * buf.codec.width)
+
+(* Counting-sort delivery plan, keyed (src, dst): the receiver-major CSR of
+   the graph's directed delivery pairs.  [srcs.(off.(v)) .. srcs.(off.(v+1)-1)]
+   are the senders vertex [v] hears, ascending (parallel edges adjacent) —
+   built in two counting passes over the edge array, with no intermediate
+   per-vertex lists and no comparison sort. *)
+type plan = { off : int array; srcs : int array }
+
+let plan graph =
+  let n = Graph.n graph in
+  let edges = Graph.edges graph in
+  let m2 = 2 * Array.length edges in
+  (* Pass 1: group the directed pairs by source. *)
+  let out_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      out_off.(e.Graph.u + 1) <- out_off.(e.Graph.u + 1) + 1;
+      out_off.(e.Graph.v + 1) <- out_off.(e.Graph.v + 1) + 1)
+    edges;
+  for i = 0 to n - 1 do
+    out_off.(i + 1) <- out_off.(i + 1) + out_off.(i)
+  done;
+  let out_dst = Array.make m2 0 in
+  let cursor = Array.copy out_off in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      out_dst.(cursor.(e.Graph.u)) <- e.Graph.v;
+      cursor.(e.Graph.u) <- cursor.(e.Graph.u) + 1;
+      out_dst.(cursor.(e.Graph.v)) <- e.Graph.u;
+      cursor.(e.Graph.v) <- cursor.(e.Graph.v) + 1)
+    edges;
+  (* Pass 2: scatter sources into receiver segments.  The graph is
+     undirected, so in-degrees equal out-degrees and the offsets carry
+     over; walking sources in ascending order makes every segment
+     ascending (the counting sort is stable). *)
+  let off = Array.copy out_off in
+  let srcs = Array.make m2 0 in
+  let cur = Array.copy off in
+  for u = 0 to n - 1 do
+    for i = out_off.(u) to out_off.(u + 1) - 1 do
+      let d = out_dst.(i) in
+      srcs.(cur.(d)) <- u;
+      cur.(d) <- cur.(d) + 1
+    done
+  done;
+  { off; srcs }
+
+let in_degree p v = p.off.(v + 1) - p.off.(v)
+
+let max_in_degree p =
+  let best = ref 0 in
+  for v = 0 to Array.length p.off - 2 do
+    best := Stdlib.max !best (in_degree p v)
+  done;
+  !best

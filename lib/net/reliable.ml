@@ -11,7 +11,12 @@ type 'msg packet = {
    threads the record through unchanged. *)
 type ('state, 'msg) vertex = {
   id : int;
-  nbrs : int list;
+  nbrs : int array;
+      (* In the clique topology every vertex shares ONE [0..n-1] array and
+         the iteration helpers skip [id] on the fly — building n explicit
+         (n-1)-element neighbor lists was the legacy engine's O(n^2) setup
+         cost.  On [Input_graph] this is the vertex's own adjacency, in
+         [Graph.neighbors] order. *)
   mutable inner : 'state;
   mutable inner_live : bool;
   mutable vround : int; (* 0 until the first inner step runs *)
@@ -43,18 +48,23 @@ let packet_bits ~n inner_bits (pkt : _ packet) =
   in
   size fields + (match pkt.payload with None -> 0 | Some m -> inner_bits m)
 
-(* Neighbors a vertex must still synchronize with: not halted, not
-   suspected. *)
-let waiting_on v =
-  List.filter
-    (fun u ->
-      not (Hashtbl.mem v.halted_nbrs u) && not (Hashtbl.mem v.suspected u))
-    v.nbrs
+(* Neighbors a vertex must still synchronize with: not self (the clique
+   array contains it), not halted, not suspected.  Exposed as iteration
+   helpers rather than a materialized list so the per-superstep barrier
+   checks allocate nothing. *)
+let is_waiting v u =
+  u <> v.id
+  && (not (Hashtbl.mem v.halted_nbrs u))
+  && not (Hashtbl.mem v.suspected u)
+
+let for_all_waiting v f =
+  Array.for_all (fun u -> (not (is_waiting v u)) || f u) v.nbrs
+
+let iter_waiting v f = Array.iter (fun u -> if is_waiting v u then f u) v.nbrs
+let none_waiting v = for_all_waiting v (fun _ -> false)
 
 let barrier_met v =
-  List.for_all
-    (fun u -> Hashtbl.mem v.got u && Hashtbl.mem v.acked u)
-    (waiting_on v)
+  for_all_waiting v (fun u -> Hashtbl.mem v.got u && Hashtbl.mem v.acked u)
 
 let inbox_of_got got =
   Lbcc_util.Tbl.sorted_bindings ~compare:Int.compare got
@@ -67,10 +77,16 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
   if patience < 1 then invalid_arg "Reliable.run: patience must be >= 1";
   Lbcc_obs.Trace.span tracer label @@ fun () ->
   let n = Graph.n graph in
+  let all_ids =
+    match model.Model.topology with
+    | Model.Clique -> Array.init n Fun.id
+    | Model.Input_graph -> [||]
+  in
   let neighbors_of v =
     match model.Model.topology with
-    | Model.Input_graph -> List.map fst (Graph.neighbors graph v)
-    | Model.Clique -> List.filter (fun u -> u <> v) (List.init n Fun.id)
+    | Model.Input_graph ->
+        Array.of_list (List.map fst (Graph.neighbors graph v))
+    | Model.Clique -> all_ids
   in
   let init_vertex v =
     {
@@ -135,17 +151,15 @@ let run ?accountant ?tracer ?(label = "reliable") ?(max_supersteps = 100_000)
         Hashtbl.replace v.last_heard sender round)
       inbox;
     (* Suspect neighbors silent for [patience] consecutive real supersteps. *)
-    List.iter
-      (fun u ->
+    iter_waiting v (fun u ->
         let heard =
           match Hashtbl.find_opt v.last_heard u with Some r -> r | None -> 0
         in
-        if round - heard > patience then Hashtbl.replace v.suspected u ())
-      (waiting_on v);
+        if round - heard > patience then Hashtbl.replace v.suspected u ());
     if v.vround = 0 then advance v
     else if (not v.zombie) && barrier_met v then advance v;
     if v.zombie then begin
-      let done_ = waiting_on v = [] in
+      let done_ = none_waiting v in
       let pkt = { vround = v.vround; payload = None; acks = []; halted = true } in
       (v, Some pkt, not done_)
     end

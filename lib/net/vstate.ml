@@ -1,0 +1,58 @@
+(* Struct-of-arrays vertex state: named unboxed columns over a fixed vertex
+   count.  A protocol on the flat engine keeps its per-vertex state here —
+   one [int array] / [Float.Array.t] / [Bytes.t] per field instead of one
+   record per vertex — fetches each column once at setup, and indexes flat
+   arrays inside the step loop.  Column lookup is by name through a
+   hashtable, which is fine: it happens at program-construction time, never
+   on the hot path (and nothing ever iterates the table, so bucket order
+   cannot leak into results). *)
+
+type column =
+  | Ints of int array
+  | Floats of Float.Array.t
+  | Chars of Bytes.t
+
+type t = {
+  n : int;
+  columns : (string, column) Hashtbl.t;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Vstate.create: negative vertex count";
+  { n; columns = Hashtbl.create 8 }
+
+let n t = t.n
+
+let mismatch name kind =
+  invalid_arg
+    (Printf.sprintf "Vstate: column %S already exists with a non-%s type" name
+       kind)
+
+let ints ?(init = 0) t name =
+  match Hashtbl.find_opt t.columns name with
+  | Some (Ints a) -> a
+  | Some _ -> mismatch name "int"
+  | None ->
+      let a = Array.make t.n init in
+      Hashtbl.add t.columns name (Ints a);
+      a
+
+let floats ?(init = 0.0) t name =
+  match Hashtbl.find_opt t.columns name with
+  | Some (Floats a) -> a
+  | Some _ -> mismatch name "float"
+  | None ->
+      let a = Float.Array.make t.n init in
+      Hashtbl.add t.columns name (Floats a);
+      a
+
+let bytes ?(init = '\000') t name =
+  match Hashtbl.find_opt t.columns name with
+  | Some (Chars b) -> b
+  | Some _ -> mismatch name "byte"
+  | None ->
+      let b = Bytes.make t.n init in
+      Hashtbl.add t.columns name (Chars b);
+      b
+
+let mem t name = Hashtbl.mem t.columns name

@@ -1,0 +1,23 @@
+(** Struct-of-arrays vertex state for flat-engine protocols (DESIGN.md §10).
+
+    A [Vstate.t] is a group of named, unboxed per-vertex columns over a
+    fixed vertex count: [int array], [Float.Array.t] (unboxed 64-bit
+    floats) or [Bytes.t] (one byte per vertex, for flags and small enums).
+    Each accessor returns the existing column or creates it filled with
+    [init]; the caller fetches columns once at setup and indexes the flat
+    arrays directly inside the step loop — no per-vertex records, no
+    pointer chasing, no lookup on the hot path. *)
+
+type t
+
+val create : n:int -> t
+val n : t -> int
+
+val ints : ?init:int -> t -> string -> int array
+(** The named int column, created on first request.
+    @raise Invalid_argument if the name exists with a different type. *)
+
+val floats : ?init:float -> t -> string -> Float.Array.t
+val bytes : ?init:char -> t -> string -> Bytes.t
+
+val mem : t -> string -> bool

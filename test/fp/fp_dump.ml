@@ -1,0 +1,13 @@
+(* Regenerates test/fingerprints.expected: one "<protocol>\t<seed>\t<fp>"
+   line per (protocol, golden seed) pair, to stdout.  Run through
+   `make fingerprints`, which refuses to overwrite the golden file from a
+   dirty tree — a regenerated baseline must be a deliberate, reviewable
+   commit of its own.
+
+   The dump runs on the default engine and a single-domain pool; the test
+   suites prove both knobs are fingerprint-neutral, so the file pins every
+   configuration at once. *)
+
+let () =
+  Lbcc_util.Pool.set_default_domains 1;
+  List.iter print_endline (Lbcc_testfp.Fp.golden_lines ())

@@ -1,0 +1,183 @@
+(* Differential harness: boxed vs. flat engine core (DESIGN.md §10).
+
+   The flat struct-of-arrays core replaced the boxed engine as the default;
+   the boxed implementation is kept verbatim as the baseline.  This suite
+   pins the equivalence the swap rests on: for every protocol in the shared
+   fingerprint table — BFS / SSSP / leader on clique and input-graph
+   topologies, their crash-safe (Reliable) and Byzantine-safe wrappers, and
+   the sparsifier — a boxed run at one domain and flat runs at 1, 2 and 4
+   domains produce bit-identical fingerprints (final states with floats by
+   bit pattern, rounds, supersteps, total bits, fault outcomes, accountant
+   breakdowns) across 10 seeds and the {None, Crash_safe, Byzantine_safe}
+   reliability tiers the table spans.
+
+   The struct-of-arrays entry point run_soa has no boxed twin, so it is
+   diffed against the boxed *generic* engine running the same int-payload
+   program, across the same fault tiers. *)
+
+open Lbcc_util
+module Fp = Lbcc_testfp.Fp
+module Graph = Lbcc_graph.Graph
+module Model = Lbcc_net.Model
+module Fault = Lbcc_net.Fault
+module Engine = Lbcc_net.Engine
+module Rounds = Lbcc_net.Rounds
+
+let with_impl impl f =
+  let saved = Engine.default_impl () in
+  Engine.set_default_impl impl;
+  Fun.protect ~finally:(fun () -> Engine.set_default_impl saved) f
+
+let test_protocol (name, f) () =
+  with_impl Engine.Boxed @@ fun () ->
+  Pool.set_default_domains 1;
+  let baselines = List.map (fun s -> (s, f s)) Fp.seeds in
+  with_impl Engine.Flat @@ fun () ->
+  List.iter
+    (fun d ->
+      Pool.set_default_domains d;
+      List.iter
+        (fun (s, expected) ->
+          let got = f s in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed=%d boxed=flat@%dd" name s d)
+            expected got)
+        baselines)
+    [ 1; 2; 4 ];
+  Pool.set_default_domains 1
+
+(* ------------------------------------------------------------------ *)
+(* run_soa vs. the boxed generic engine on a BFS program               *)
+
+(* The same BFS both ways: the exact step semantics of Lbcc_dist.Bfs
+   (adopt the FIRST — lowest-id — announcer, announce the new distance in
+   the same superstep, halt one superstep after announcing; an unreached
+   vertex stays live until the cap), written once against the boxed
+   ('state, int) interface and once as a run_soa step over flat Vstate
+   columns.  The tamper transform matches Lbcc_dist.Bfs too, so the fault
+   tiers corrupt payloads identically. *)
+let tamper ~salt d = d lxor (1 lor (salt land 0x7))
+
+let cap n = 2 * (n + 1)
+
+let fingerprint_of ~dist ~parent (stats : Engine.stats) acc =
+  Printf.sprintf "%s|%s|%d|%d|%d|%d|%b|%s" (Fp.ints dist) (Fp.ints parent)
+    stats.Engine.rounds stats.Engine.supersteps stats.Engine.messages_sent
+    stats.Engine.total_bits stats.Engine.converged (Fp.acct_fp acc)
+
+let soa_fingerprint ~model ~graph ~faults ~source =
+  let n = Graph.n graph in
+  let vs = Lbcc_net.Vstate.create ~n in
+  let dist = Lbcc_net.Vstate.ints ~init:max_int vs "dist" in
+  let parent = Lbcc_net.Vstate.ints ~init:(-1) vs "parent" in
+  let announced = Lbcc_net.Vstate.bytes vs "announced" in
+  dist.(source) <- 0;
+  let step ~round:_ ~vertex (ib : Engine.soa_inbox) (out : Engine.soa_out) =
+    if dist.(vertex) < max_int then
+      if Bytes.get announced vertex <> '\000' then false
+      else begin
+        Bytes.set announced vertex '\001';
+        out.Engine.send <- true;
+        out.Engine.value <- dist.(vertex);
+        true
+      end
+    else if ib.Engine.count > 0 then begin
+      let d = ib.Engine.payloads.(0) + 1 in
+      dist.(vertex) <- d;
+      parent.(vertex) <- ib.Engine.senders.(0);
+      Bytes.set announced vertex '\001';
+      out.Engine.send <- true;
+      out.Engine.value <- d;
+      true
+    end
+    else true
+  in
+  let acc = Rounds.create ~bandwidth:16 in
+  let stats =
+    Engine.run_soa ~accountant:acc ?faults ~tamper ~label:"soa-bfs" ~model
+      ~graph
+      ~size_bits:(fun d -> Bits.int_bits d)
+      ~step ~max_supersteps:(cap n) ()
+  in
+  fingerprint_of ~dist ~parent stats acc
+
+let boxed_fingerprint ~model ~graph ~faults ~source =
+  let n = Graph.n graph in
+  let init v = if v = source then (0, -1, false) else (max_int, -1, false) in
+  let step ~round:_ ~vertex:_ (d, p, announced) inbox =
+    if d < max_int then
+      if announced then ((d, p, announced), None, false)
+      else ((d, p, true), Some d, true)
+    else
+      match inbox with
+      | (sender, dm) :: _ -> ((dm + 1, sender, true), Some (dm + 1), true)
+      | [] -> ((d, p, announced), None, true)
+  in
+  let acc = Rounds.create ~bandwidth:16 in
+  let states, stats =
+    Engine.run ~impl:Engine.Boxed ~accountant:acc ?faults ~tamper
+      ~label:"soa-bfs" ~model ~graph
+      ~size_bits:(fun d -> Bits.int_bits d)
+      ~init ~step ~max_supersteps:(cap n) ()
+  in
+  let dist = Array.map (fun (d, _, _) -> d) states in
+  let parent = Array.map (fun (_, p, _) -> p) states in
+  fingerprint_of ~dist ~parent stats acc
+
+let fault_tiers =
+  [
+    ("lossless", fun _ -> None);
+    ("faulty", fun seed -> Some (Fp.faults_of seed));
+    ( "crashy",
+      fun seed ->
+        Some
+          (Fault.create ~seed
+             (Fault.spec ~drop_prob:0.1 ~duplicate_prob:0.2
+                ~crashes:[ (2, 3); (7, 5) ] ~adversarial_drops:3 ())) );
+  ]
+
+let test_soa (tier, faults_of) () =
+  Pool.set_default_domains 1;
+  List.iter
+    (fun (mname, model) ->
+      List.iter
+        (fun seed ->
+          let graph = Fp.graph_of seed in
+          let expected =
+            boxed_fingerprint ~model ~graph ~faults:(faults_of seed) ~source:0
+          in
+          List.iter
+            (fun d ->
+              Pool.set_default_domains d;
+              let got =
+                soa_fingerprint ~model ~graph ~faults:(faults_of seed)
+                  ~source:0
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "soa-bfs %s %s seed=%d domains=%d" mname tier
+                   seed d)
+                expected got)
+            [ 1; 2; 4 ];
+          Pool.set_default_domains 1)
+        Fp.seeds)
+    [
+      ("clique", Model.broadcast_congested_clique);
+      ("input-graph", Model.broadcast_congest);
+    ]
+
+let suites =
+  [
+    ( "engine-diff",
+      List.map
+        (fun (name, f) ->
+          Alcotest.test_case (name ^ " boxed=flat") `Quick
+            (test_protocol (name, f)))
+        Fp.protocols
+      @ List.map
+          (fun (tier, faults_of) ->
+            Alcotest.test_case
+              (Printf.sprintf "soa bfs %s boxed=soa" tier)
+              `Quick
+              (test_soa (tier, faults_of)))
+          fault_tiers );
+  ]

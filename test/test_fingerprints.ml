@@ -1,0 +1,47 @@
+(* Golden-fingerprint regression gate.
+
+   test/fingerprints.expected pins the exact fingerprint (states, stats,
+   accountant breakdowns) of every protocol in the shared table at the
+   golden seeds.  Any engine, protocol or accounting change that moves a
+   single bit fails here with the field-level diff visible in the message.
+
+   Deliberate changes regenerate the file with `make fingerprints`, which
+   refuses to run from a dirty tree so a new baseline is always its own
+   reviewable commit. *)
+
+module Fp = Lbcc_testfp.Fp
+
+let expected_lines () =
+  let ic = open_in "fingerprints.expected" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_golden () =
+  Lbcc_util.Pool.set_default_domains 1;
+  let expected = expected_lines () in
+  let got = Fp.golden_lines () in
+  Alcotest.(check int)
+    "golden line count (regenerate with `make fingerprints`)"
+    (List.length expected) (List.length got);
+  List.iter2
+    (fun e g ->
+      let key line =
+        match String.split_on_char '\t' line with
+        | name :: seed :: _ -> name ^ " seed=" ^ seed
+        | _ -> line
+      in
+      Alcotest.(check string) (key e) e g)
+    expected got
+
+let suites =
+  [
+    ( "fingerprints",
+      [ Alcotest.test_case "match golden file" `Quick test_golden ] );
+  ]

@@ -1,0 +1,155 @@
+(* Property tests for the flat engine's packed-buffer codec layer
+   (lib/net/packed.ml): codecs are lossless bit-for-bit, the counting-sort
+   delivery plan reproduces sorted-adjacency order, and buffer reuse never
+   leaks a previous round's payload. *)
+
+open Lbcc_util
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+module Packed = Lbcc_net.Packed
+
+(* ------------------------------------------------------------------ *)
+(* Codec round trips                                                   *)
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"int codec round-trips" ~count:1000
+    QCheck.(pair int (int_range 0 63))
+    (fun (v, slot) ->
+      let buf = Packed.buffer Packed.int_codec ~n:64 in
+      Packed.set buf slot v;
+      Packed.mem buf slot && Packed.get buf slot = v)
+
+let test_int_extremes () =
+  let buf = Packed.buffer Packed.int_codec ~n:8 in
+  List.iteri
+    (fun i v ->
+      Packed.set buf i v;
+      Alcotest.(check int) (Printf.sprintf "slot %d" i) v (Packed.get buf i))
+    [ 0; 1; -1; max_int; min_int; 0x3FFF_FFFF_FFFF_FFFF; -4611686018427387904 ]
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"float codec round-trips bitwise" ~count:1000
+    QCheck.(pair float (int_range 0 63))
+    (fun (v, slot) ->
+      let buf = Packed.buffer Packed.float_codec ~n:64 in
+      Packed.set buf slot v;
+      Int64.bits_of_float (Packed.get buf slot) = Int64.bits_of_float v)
+
+let test_float_extremes () =
+  let buf = Packed.buffer Packed.float_codec ~n:8 in
+  List.iteri
+    (fun i v ->
+      Packed.set buf i v;
+      Alcotest.(check int64)
+        (Printf.sprintf "slot %d" i)
+        (Int64.bits_of_float v)
+        (Int64.bits_of_float (Packed.get buf i)))
+    [ 0.0; -0.0; infinity; neg_infinity; nan; 1e-308; Float.min_float; -1.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Delivery plan vs. sorted adjacency                                  *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%.2f" seed n p)
+    QCheck.Gen.(
+      triple (int_range 1 1000) (int_range 3 40)
+        (oneofl [ 0.05; 0.15; 0.4; 0.9 ]))
+
+let sorted_neighbors g v =
+  let a = Array.of_list (List.map fst (Graph.neighbors g v)) in
+  Array.sort Int.compare a;
+  a
+
+let prop_plan_matches_sorted_adjacency =
+  QCheck.Test.make ~name:"plan segments = sorted adjacency" ~count:200
+    graph_arb
+    (fun (seed, n, p) ->
+      let g = Gen.erdos_renyi_connected (Prng.create seed) ~n ~p ~w_max:8 in
+      let plan = Packed.plan g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        let expect = sorted_neighbors g v in
+        let got =
+          Array.init (Packed.in_degree plan v) (fun i ->
+              plan.Packed.srcs.(plan.Packed.off.(v) + i))
+        in
+        if got <> expect then ok := false
+      done;
+      !ok)
+
+let prop_plan_segments_ascending =
+  QCheck.Test.make ~name:"plan segments ascending (sender order preserved)"
+    ~count:200 graph_arb
+    (fun (seed, n, p) ->
+      let g = Gen.erdos_renyi_connected (Prng.create seed) ~n ~p ~w_max:8 in
+      let plan = Packed.plan g in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        for i = plan.Packed.off.(v) to plan.Packed.off.(v + 1) - 2 do
+          if plan.Packed.srcs.(i) > plan.Packed.srcs.(i + 1) then ok := false
+        done
+      done;
+      !ok)
+
+let test_plan_degrees () =
+  let g = Gen.erdos_renyi_connected (Prng.create 7) ~n:30 ~p:0.2 ~w_max:8 in
+  let plan = Packed.plan g in
+  let maxd = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "in-degree %d" v)
+      (Graph.degree g v)
+      (Packed.in_degree plan v);
+    maxd := Stdlib.max !maxd (Graph.degree g v)
+  done;
+  Alcotest.(check int) "max in-degree" !maxd (Packed.max_in_degree plan)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer reuse                                                        *)
+
+let prop_clear_hides_stale =
+  QCheck.Test.make ~name:"clear never leaks stale payloads" ~count:500
+    QCheck.(triple (list_of_size Gen.(int_range 0 32) (int_range 0 31)) (list_of_size Gen.(int_range 0 32) (int_range 0 31)) int)
+    (fun (round1, round2, v) ->
+      let buf = Packed.buffer Packed.int_codec ~n:32 in
+      (* Round 1 fills some slots with a marker payload... *)
+      List.iter (fun s -> Packed.set buf s 0x5A5A5A5A) round1;
+      Packed.clear buf;
+      (* ...round 2 fills a different set with [v].  Every slot must either
+         hold [v] (written this round) or be absent — the marker must be
+         unreachable. *)
+      List.iter (fun s -> Packed.set buf s v) round2;
+      let ok = ref true in
+      for s = 0 to 31 do
+        if Packed.mem buf s then begin
+          if not (List.mem s round2) then ok := false;
+          if Packed.get buf s <> v then ok := false
+        end
+        else if List.mem s round2 then ok := false
+      done;
+      !ok)
+
+let test_get_absent_raises () =
+  let buf = Packed.buffer Packed.int_codec ~n:4 in
+  Packed.set buf 1 42;
+  Packed.clear buf;
+  Alcotest.check_raises "get after clear"
+    (Invalid_argument "Packed.get: no message in slot") (fun () ->
+      ignore (Packed.get buf 1))
+
+let suites =
+  [
+    ( "packed",
+      [
+        QCheck_alcotest.to_alcotest prop_int_roundtrip;
+        Alcotest.test_case "int codec extremes" `Quick test_int_extremes;
+        QCheck_alcotest.to_alcotest prop_float_roundtrip;
+        Alcotest.test_case "float codec extremes" `Quick test_float_extremes;
+        QCheck_alcotest.to_alcotest prop_plan_matches_sorted_adjacency;
+        QCheck_alcotest.to_alcotest prop_plan_segments_ascending;
+        Alcotest.test_case "plan degrees" `Quick test_plan_degrees;
+        QCheck_alcotest.to_alcotest prop_clear_hides_stale;
+        Alcotest.test_case "get absent raises" `Quick test_get_absent_raises;
+      ] );
+  ]
