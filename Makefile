@@ -1,5 +1,6 @@
 CLI := ./_build/default/bin/lbcc_cli.exe
 LINT := ./_build/default/bin/lbcc_lint.exe
+SERVE := ./_build/default/bin/lbcc_serve.exe
 
 # Warnings are errors by default (the configuration CI enforces); set
 # LBCC_DEV=1 for a forgiving edit-compile loop where warnings only print.
@@ -7,7 +8,7 @@ LINT := ./_build/default/bin/lbcc_lint.exe
 DUNE_PROFILE := $(if $(LBCC_DEV),dev,strict)
 DUNE := dune build --profile $(DUNE_PROFILE)
 
-.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke doc ci clean
+.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke serve-smoke doc ci clean
 
 all: build
 
@@ -82,6 +83,17 @@ scale-smoke: build
 	$(CLI) report --validate _bench_reports/BENCH_SCALE.json
 	@echo "scale-smoke: OK"
 
+# Daemon smoke (DESIGN.md §11): fork a coalescing daemon, a serial-dispatch
+# baseline and an overloaded small-queue daemon; replay the seeded zipf trace
+# over 16 concurrent clients; check every response bit-for-bit against direct
+# in-process solves; validate the BENCH_SERVE.json claims (the bench itself
+# exits 1 on an SLO violation).
+serve-smoke: build
+	mkdir -p _bench_reports
+	$(SERVE) bench --out _bench_reports --socket /tmp/lbcc-serve-smoke.sock
+	$(CLI) report --validate _bench_reports/BENCH_SERVE.json
+	@echo "serve-smoke: OK"
+
 # Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4
 # worker domains (outputs must stay bit-identical) and measures the
 # allocation profile of the Laplacian solve loop; writes BENCH_PERF.json.
@@ -100,7 +112,7 @@ doc:
 	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
-ci: build test lint smoke
+ci: build test lint smoke serve-smoke
 
 clean:
 	dune clean

@@ -45,6 +45,7 @@ module Byzantine = Lbcc_net.Byzantine
 module Bfs = Lbcc_dist.Bfs
 module Report = Lbcc_obs.Report
 module Json = Lbcc_obs.Json
+module Metrics = Lbcc_obs.Metrics
 module Cache = Lbcc_service.Cache
 module Prepared = Lbcc_service.Prepared
 
@@ -1059,18 +1060,21 @@ let batch () =
     "batch k=%d wall-clock per solve: %.4fs (1 domain) %.4fs (2) %.4fs (4); \
      bit-identical=%b\n"
     k_fixed t1 t2 t4 identical;
-  (* Handle cache: repeated creates on the identical graph hit. *)
-  let cache = Cache.create ~capacity:4 () in
+  (* Handle cache: repeated creates on the identical graph hit.  The
+     hit/miss/eviction counts come out of the cache's Metrics registry —
+     the canonical export every consumer (this bench, the serve daemon's
+     stats endpoint) reads, rather than a private snapshot. *)
+  let cache_metrics = Metrics.create () in
+  let cache = Cache.create ~capacity:4 ~metrics:cache_metrics () in
   let reps = 4 in
   for _ = 1 to reps do
     ignore (Prepared.create_cached ~cache ~seed:5 g : Prepared.t * bool)
   done;
-  let st = Cache.stats cache in
-  let hit_rate =
-    float_of_int st.Cache.hits /. float_of_int (st.Cache.hits + st.Cache.misses)
-  in
+  let hits = Metrics.counter cache_metrics "cache.hits" in
+  let misses = Metrics.counter cache_metrics "cache.misses" in
+  let hit_rate = float_of_int hits /. float_of_int (hits + misses) in
   Printf.printf "cache: %d prepares -> %d hits / %d misses (hit rate %.2f)\n"
-    reps st.Cache.hits st.Cache.misses hit_rate;
+    reps hits misses hit_rate;
   note
     "claims: amortized rounds/query strictly decreasing in k; batched\n\
      solutions bit-identical to sequential at 1/2/4 domains; per-query\n\
@@ -1097,8 +1101,8 @@ let batch () =
           Json.Obj
             [
               ("prepares", Json.Int reps);
-              ("hits", Json.Int st.Cache.hits);
-              ("misses", Json.Int st.Cache.misses);
+              ("hits", Json.Int hits);
+              ("misses", Json.Int misses);
               ("hit_rate", Json.Float hit_rate);
             ] );
       ]

@@ -60,7 +60,8 @@ let everywhere _ = true
    list.  Leaf charge labels are free-form kebab-case. *)
 let phase_vocabulary =
   [ "prepare"; "query"; "solve"; "preprocess"; "sparsify"; "spanner"; "mcmf";
-    "ipm"; "retransmit"; "byz-echo"; "gossip"; "engine"; "scale" ]
+    "ipm"; "retransmit"; "byz-echo"; "gossip"; "engine"; "scale"; "serve";
+    "admit"; "coalesce" ]
 
 let rules =
   [

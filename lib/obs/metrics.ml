@@ -92,6 +92,42 @@ let summary_of h =
 
 let histogram r name = Option.map summary_of (Hashtbl.find_opt r.histograms name)
 
+(* Bucket-interpolated quantile on the log2 histogram.  The target rank
+   q * count is located in the cumulative bucket counts; within the winning
+   bucket the estimate interpolates linearly between the bucket's bounds
+   (lower bound = upper / 2 for power-of-two buckets), then clamps to the
+   exact [min, max] the histogram tracks — so a constant distribution
+   reports the constant, not a bucket edge, and no estimate can leave the
+   observed range. *)
+let quantile (s : histogram_summary) q =
+  if s.count <= 0 then invalid_arg "Metrics.quantile: empty histogram";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.quantile: q outside [0, 1]";
+  if q <= 0.0 then s.min
+  else if q >= 1.0 then s.max
+  else begin
+    let target = q *. float_of_int s.count in
+    let clamp est = Float.min s.max (Float.max s.min est) in
+    let rec walk cum = function
+      | [] -> s.max
+      | (ub, c) :: rest ->
+          let cum' = cum +. float_of_int c in
+          if target <= cum' || (match rest with [] -> true | _ -> false) then begin
+            (* The underflow bucket (bound 0) holds the non-positive
+               observations: interpolate from the exact minimum instead of a
+               halved power of two. *)
+            let lo = if ub <= 0.0 then s.min else ub /. 2.0 in
+            let frac = (target -. cum) /. float_of_int c in
+            let frac = Float.min 1.0 (Float.max 0.0 frac) in
+            clamp (lo +. (frac *. (ub -. lo)))
+          end
+          else walk cum' rest
+    in
+    walk 0.0 s.buckets
+  end
+
+let quantile_of r name q = Option.map (fun s -> quantile s q) (histogram r name)
+
 let names r =
   let collect tbl acc = Hashtbl.fold (fun k _ acc -> k :: acc) tbl acc in
   collect r.counters (collect r.gauges (collect r.histograms []))

@@ -41,6 +41,19 @@ val gauge : t -> string -> float option
 
 val histogram : t -> string -> histogram_summary option
 
+val quantile : histogram_summary -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) of the
+    observations behind [s] by locating rank [q * count] in the cumulative
+    bucket counts and interpolating linearly inside the winning power-of-two
+    bucket, clamped to the exact [\[min, max\]] — so SLO summaries (p50 /
+    p90 / p99) report values inside the observed range rather than bucket
+    edges.  [q = 0.] is exactly [s.min] and [q = 1.] exactly [s.max].
+    The estimate's error is bounded by the winning bucket's width.
+    @raise Invalid_argument on an empty summary or [q] outside [\[0, 1\]]. *)
+
+val quantile_of : t -> string -> float -> float option
+(** {!quantile} on a named histogram; [None] when it does not exist. *)
+
 val names : t -> string list
 (** All registered metric names, sorted. *)
 

@@ -1,0 +1,131 @@
+(* The fleet of named graphs (and flow networks) a daemon serves.
+
+   Both sides of the SERVE bench — the forked daemon and the load-generator
+   client checking bitwise identity — rebuild the fleet independently from
+   the same configuration, so construction must be a pure function of the
+   config: every entry draws from its own Prng stream derived from the
+   fleet seed and the entry index. *)
+
+module Graph = Lbcc_graph.Graph
+module Gen = Lbcc_graph.Gen
+module Network = Lbcc_flow.Network
+module Fingerprint = Lbcc_service.Fingerprint
+open Lbcc_util
+
+type family = Er | Grid | Geometric | Complete
+
+let family_of_string = function
+  | "er" -> Some Er
+  | "grid" -> Some Grid
+  | "geometric" -> Some Geometric
+  | "complete" -> Some Complete
+  | _ -> None
+
+let family_to_string = function
+  | Er -> "er"
+  | Grid -> "grid"
+  | Geometric -> "geometric"
+  | Complete -> "complete"
+
+type config = {
+  seed : int;
+  graphs : int;
+  vertices : int;
+  family : family;
+  w_max : int;
+  networks : int;
+  net_vertices : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    graphs = 4;
+    vertices = 48;
+    family = Er;
+    w_max = 8;
+    networks = 0;
+    net_vertices = 8;
+  }
+
+type entry = {
+  name : string;
+  graph : Graph.t;
+  fingerprint_hex : string;  (* precomputed: the admission-path bin key *)
+}
+
+type net_entry = { net_name : string; net : Network.t }
+
+type t = { config : config; entries : entry list; nets : net_entry list }
+
+(* Distinct odd stride keeps per-entry streams disjoint for any seed. *)
+let entry_prng seed i = Prng.create ((seed * 65599) + (2 * i) + 1)
+
+let build_graph cfg i =
+  let prng = entry_prng cfg.seed i in
+  let n = cfg.vertices in
+  match cfg.family with
+  | Er -> Gen.erdos_renyi_connected prng ~n ~p:0.3 ~w_max:cfg.w_max
+  | Grid ->
+      let side = Stdlib.max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.grid prng ~rows:side ~cols:side ~w_max:cfg.w_max
+  | Geometric -> Gen.random_geometric prng ~n ~radius:0.3 ~w_max:cfg.w_max
+  | Complete -> Gen.complete prng ~n ~w_max:cfg.w_max
+
+let build cfg =
+  if cfg.graphs < 1 then invalid_arg "Fleet.build: need at least one graph";
+  let entries =
+    List.init cfg.graphs (fun i ->
+        let graph = build_graph cfg i in
+        {
+          name = Printf.sprintf "g%d" i;
+          graph;
+          fingerprint_hex = Fingerprint.to_hex (Fingerprint.graph graph);
+        })
+  in
+  let nets =
+    List.init cfg.networks (fun i ->
+        let prng = entry_prng (cfg.seed + 7919) i in
+        {
+          net_name = Printf.sprintf "f%d" i;
+          net =
+            Network.random prng ~n:cfg.net_vertices ~density:0.3
+              ~max_capacity:cfg.w_max ~max_cost:cfg.w_max;
+        })
+  in
+  { config = cfg; entries; nets }
+
+let find t name = List.find_opt (fun e -> String.equal e.name name) t.entries
+
+let find_net t name =
+  List.find_opt (fun e -> String.equal e.net_name name) t.nets
+
+let info_json t =
+  let open Lbcc_obs.Json in
+  Obj
+    [
+      ("schema", String "lbcc-serve-info/1");
+      ( "graphs",
+        Arr
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("name", String e.name);
+                   ("n", Int (Graph.n e.graph));
+                   ("m", Int (Graph.m e.graph));
+                   ("fingerprint", String e.fingerprint_hex);
+                 ])
+             t.entries) );
+      ( "networks",
+        Arr
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("name", String e.net_name);
+                   ("n", Int e.net.Network.n);
+                   ("m", Int (Network.m e.net));
+                 ])
+             t.nets) );
+    ]

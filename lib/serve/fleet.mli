@@ -1,0 +1,50 @@
+(** The fleet of named graphs (and flow networks) a daemon serves.
+
+    Built once at daemon startup from a pure configuration, so the
+    load-generator client can rebuild the identical fleet from the same
+    config and verify daemon responses bit-for-bit against direct
+    [Lbcc]/[Prepared] calls. *)
+
+module Graph = Lbcc_graph.Graph
+module Network = Lbcc_flow.Network
+
+type family = Er | Grid | Geometric | Complete
+
+val family_of_string : string -> family option
+val family_to_string : family -> string
+
+type config = {
+  seed : int;
+  graphs : int;  (** fleet size; named [g0 .. g{graphs-1}] *)
+  vertices : int;
+  family : family;
+  w_max : int;
+  networks : int;  (** flow networks; named [f0 ..]; 0 = no flow workload *)
+  net_vertices : int;
+}
+
+val default_config : config
+(** 4 Erdős–Rényi graphs on 48 vertices, no networks, seed 1. *)
+
+type entry = {
+  name : string;
+  graph : Graph.t;
+  fingerprint_hex : string;
+      (** structural fingerprint, precomputed — the scheduler's bin key *)
+}
+
+type net_entry = { net_name : string; net : Network.t }
+
+type t = { config : config; entries : entry list; nets : net_entry list }
+
+val build : config -> t
+(** Deterministic: every entry draws from its own stream derived from
+    [(seed, index)], so equal configs build bit-identical fleets.
+    @raise Invalid_argument when [graphs < 1]. *)
+
+val find : t -> string -> entry option
+val find_net : t -> string -> net_entry option
+
+val info_json : t -> Lbcc_obs.Json.t
+(** Fleet roster ([lbcc-serve-info/1]): name, size and fingerprint per
+    graph — what the daemon answers to an [Info] request. *)

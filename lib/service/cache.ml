@@ -1,3 +1,5 @@
+module Metrics = Lbcc_obs.Metrics
+
 type stats = {
   hits : int;
   misses : int;
@@ -15,9 +17,11 @@ type 'v t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable metrics : Metrics.t option;
+  mutable prefix : string;
 }
 
-let create ?(capacity = 8) () =
+let create ?(capacity = 8) ?metrics ?(metrics_prefix = "cache") () =
   if capacity < 0 then invalid_arg "Cache.create: negative capacity";
   {
     table = Hashtbl.create (max 1 capacity);
@@ -26,10 +30,26 @@ let create ?(capacity = 8) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    metrics;
+    prefix = metrics_prefix;
   }
+
+let set_metrics t ?(prefix = "cache") metrics =
+  t.metrics <- metrics;
+  t.prefix <- prefix
 
 let capacity t = t.capacity
 let size t = Hashtbl.length t.table
+
+(* Every counter the cache maintains is mirrored into the attached registry
+   as it changes, so consumers (the BATCH bench, the serve daemon's stats
+   endpoint) read "<prefix>.hits" / ".misses" / ".evictions" and the
+   ".size" gauge instead of reaching for the ad-hoc ints in [stats]. *)
+let bump t name =
+  Metrics.inc t.metrics (t.prefix ^ "." ^ name)
+
+let gauge_size t =
+  Metrics.set_gauge t.metrics (t.prefix ^ ".size") (float_of_int (size t))
 
 let touch t e =
   t.clock <- t.clock + 1;
@@ -39,10 +59,12 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some e ->
       t.hits <- t.hits + 1;
+      bump t "hits";
       touch t e;
       Some e.value
   | None ->
       t.misses <- t.misses + 1;
+      bump t "misses";
       None
 
 let evict_lru t =
@@ -60,7 +82,8 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
       Hashtbl.remove t.table key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      bump t "evictions"
   | None -> ()
 
 let add t key value =
@@ -68,7 +91,8 @@ let add t key value =
     if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
     then evict_lru t;
     t.clock <- t.clock + 1;
-    Hashtbl.replace t.table key { value; tick = t.clock }
+    Hashtbl.replace t.table key { value; tick = t.clock };
+    gauge_size t
   end
 
 let find_or_add t key build =
@@ -79,9 +103,13 @@ let find_or_add t key build =
       add t key v;
       (v, false)
 
-let remove t key = Hashtbl.remove t.table key
+let remove t key =
+  Hashtbl.remove t.table key;
+  gauge_size t
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  Hashtbl.reset t.table;
+  gauge_size t
 
 let stats t =
   {

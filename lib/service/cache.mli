@@ -17,10 +17,25 @@ type stats = {
   capacity : int;
 }
 
-val create : ?capacity:int -> unit -> 'v t
+val create :
+  ?capacity:int ->
+  ?metrics:Lbcc_obs.Metrics.t ->
+  ?metrics_prefix:string ->
+  unit ->
+  'v t
 (** [capacity] defaults to 8; [0] disables caching (every lookup misses and
-    nothing is retained).
+    nothing is retained).  When [metrics] is given, the cache mirrors its
+    counters into the registry as they change — ["<prefix>.hits"],
+    ["<prefix>.misses"], ["<prefix>.evictions"] counters and a
+    ["<prefix>.size"] gauge ([metrics_prefix] defaults to ["cache"]) — the
+    canonical export consumers read instead of the {!stats} snapshot ints.
     @raise Invalid_argument when [capacity < 0]. *)
+
+val set_metrics : 'v t -> ?prefix:string -> Lbcc_obs.Metrics.t option -> unit
+(** Attach (or detach, with [None]) a registry after creation — how the
+    serve daemon points the process-wide {!Prepared.shared_cache} at its own
+    registry.  Only counts from the attach onward are mirrored; [prefix]
+    defaults to ["cache"]. *)
 
 val capacity : 'v t -> int
 val size : 'v t -> int
