@@ -8,7 +8,7 @@ SERVE := ./_build/default/bin/lbcc_serve.exe
 DUNE_PROFILE := $(if $(LBCC_DEV),dev,strict)
 DUNE := dune build --profile $(DUNE_PROFILE)
 
-.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke serve-smoke doc ci clean
+.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke serve-smoke update-smoke doc ci clean
 
 all: build
 
@@ -94,6 +94,18 @@ serve-smoke: build
 	$(CLI) report --validate _bench_reports/BENCH_SERVE.json
 	@echo "serve-smoke: OK"
 
+# Dynamic-graph smoke: the UPDATE experiment (incremental update rounds vs
+# full rebuild across delta sizes, a-posteriori certification, fingerprint
+# patch exactness, 1/2/4-domain bit-identity — the harness exits nonzero if
+# any claim leaves its bound), then one end-to-end CLI delta stream.
+update-smoke: build
+	mkdir -p _bench_reports
+	dune exec bench/main.exe -- UPDATE --json --out _bench_reports
+	$(CLI) report --validate _bench_reports/BENCH_UPDATE.json
+	$(CLI) update --vertices 48 --steps 2 --ops 6 --json \
+	  | tail -1 | grep -q '"certified":true'
+	@echo "update-smoke: OK"
+
 # Multicore wall-clock profile alone: times the E11-style pipeline at 1 vs 4
 # worker domains (outputs must stay bit-identical) and measures the
 # allocation profile of the Laplacian solve loop; writes BENCH_PERF.json.
@@ -112,7 +124,7 @@ doc:
 	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
-ci: build test lint smoke serve-smoke
+ci: build test lint smoke serve-smoke update-smoke
 
 clean:
 	dune clean

@@ -5,6 +5,7 @@
      lbcc solve    --vertices 64 --family grid --eps 1e-8
      lbcc solve    --vertices 64 --batch 8       # one prepared handle, 8 RHS
      lbcc prepare  --vertices 64 --queries 8 --repeat 2
+     lbcc update   --vertices 64 --steps 4 --ops 8  # incremental sketch
      lbcc spanner  --vertices 96 --stretch 3 --edge-prob 0.5
      lbcc flow     --vertices 8 --density 0.3 --max-capacity 6 --max-cost 5
      lbcc dist     --algo sssp --drop-prob 0.2 --crash 5@30 --fault-seed 7
@@ -506,6 +507,110 @@ let prepare_cmd =
          const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ queries
          $ repeat $ trace_arg $ json_arg))
 
+(* lbcc update: drive an incremental sparsifier sketch through a seeded
+   delta stream, certifying every generation and comparing the incremental
+   update's rounds against a full rebuild of the accumulated graph. *)
+let update_cmd =
+  let steps =
+    Arg.(
+      value & opt int 4
+      & info [ "steps" ] ~docv:"R" ~doc:"Deltas applied to the sketch.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~docv:"K"
+          ~doc:
+            "Ops per delta: K/2 inserts, K/4 deletes, the rest reweights \
+             (connectivity-preserving, seeded).")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.5
+      & info [ "epsilon" ] ~doc:"Sketch target spectral error.")
+  in
+  let run seed n family w_max steps ops epsilon json =
+    let module Sparsify = Lbcc_sparsifier.Sparsify in
+    let module Certify = Lbcc_sparsifier.Certify in
+    let g = make_graph family seed n w_max in
+    Printf.printf "input: n=%d m=%d\n" (Graph.n g) (Graph.m g);
+    let prng = Prng.create seed in
+    let delta_prng = Prng.create (seed + 1) in
+    let sk = ref (Sparsify.sketch ~prng ~graph:g ~epsilon ()) in
+    Printf.printf "sketch: m=%d in %d rounds (full build)\n"
+      (Graph.m !sk.Sparsify.sparsifier)
+      !sk.Sparsify.last_rounds;
+    Printf.printf "%4s %6s %6s %8s %8s %10s %10s %8s\n" "gen" "|d|" "m"
+      "passed" "resamp" "upd-rnds" "full-rnds" "eps";
+    let rows = ref [] in
+    let certified = ref true in
+    for _step = 1 to Stdlib.max 1 steps do
+      let d =
+        Gen.delta ~w_max ~connected:true delta_prng ~graph:!sk.Sparsify.base
+          ~inserts:(Stdlib.max 1 (ops / 2))
+          ~deletes:(ops / 4)
+          ~reweights:(Stdlib.max 0 (ops - (ops / 2) - (ops / 4)))
+          ()
+      in
+      sk := Sparsify.update ~prng !sk d;
+      (* What a from-scratch build of the accumulated graph would cost —
+         same prng discipline as the sketch's own full-build fallback. *)
+      let full =
+        Sparsify.run ~prng:(Prng.create seed) ~graph:!sk.Sparsify.base
+          ~epsilon ()
+      in
+      let cert =
+        Certify.exact !sk.Sparsify.base !sk.Sparsify.sparsifier
+      in
+      (* KPPS composition: each re-sampling generation may multiply the
+         error, so judge against the composed budget, not the per-step
+         epsilon. *)
+      let budget =
+        ((1.0 +. epsilon) ** float_of_int (1 + !sk.Sparsify.generation)) -. 1.0
+      in
+      let ok = cert.Certify.epsilon_achieved <= budget in
+      if not ok then certified := false;
+      Printf.printf "%4d %6d %6d %8d %8d %10d %10d %7.3f%s\n"
+        !sk.Sparsify.generation (Graph.Delta.size d)
+        (Graph.m !sk.Sparsify.sparsifier)
+        !sk.Sparsify.passed !sk.Sparsify.resampled !sk.Sparsify.last_rounds
+        full.Sparsify.rounds cert.Certify.epsilon_achieved
+        (if ok then "" else " FAIL");
+      rows :=
+        Json.Obj
+          [
+            ("generation", Json.Int !sk.Sparsify.generation);
+            ("delta_ops", Json.Int (Graph.Delta.size d));
+            ("update_rounds", Json.Int !sk.Sparsify.last_rounds);
+            ("full_rounds", Json.Int full.Sparsify.rounds);
+            ("epsilon_achieved", Json.Float cert.Certify.epsilon_achieved);
+            ("epsilon_budget", Json.Float budget);
+          ]
+        :: !rows
+    done;
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("steps", Json.Arr (List.rev !rows));
+                ("certified", Json.Bool !certified);
+              ]));
+    if not !certified then begin
+      prerr_endline "lbcc update: a generation exceeded its error budget";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Mutate a graph through Graph.Delta batches, maintaining the \
+          sparsifier incrementally (certified each generation)")
+    (with_domains
+       Term.(
+         const run $ seed_arg $ n_arg $ family_arg $ w_max_arg $ steps $ ops
+         $ epsilon $ json_arg))
+
 let spanner_cmd =
   let k = Arg.(value & opt int 3 & info [ "k"; "stretch" ] ~doc:"Stretch parameter (2k-1).") in
   let edge_prob =
@@ -874,8 +979,8 @@ let main_cmd =
   let doc = "The Laplacian paradigm in the Broadcast Congested Clique" in
   Cmd.group
     (Cmd.info "lbcc" ~version:Lbcc.version ~doc)
-    [ sparsify_cmd; solve_cmd; prepare_cmd; spanner_cmd; flow_cmd; dist_cmd;
-      gen_cmd; report_cmd ]
+    [ sparsify_cmd; solve_cmd; prepare_cmd; update_cmd; spanner_cmd;
+      flow_cmd; dist_cmd; gen_cmd; report_cmd ]
 
 (* Exit-code contract (DESIGN.md §8): 0 success; 1 a checked claim or report
    validation failed (the [exit 1] calls inside the commands); 2 usage

@@ -25,6 +25,7 @@ module Clock = Lbcc_obs.Clock
 module Ctx = Lbcc_service.Ctx
 module Prepared = Lbcc_service.Prepared
 module Lbcc = Lbcc_core.Lbcc
+module Prng = Lbcc_util.Prng
 module Proto = Lbcc_serve.Proto
 module Sched = Lbcc_serve.Sched
 module Fleet = Lbcc_serve.Fleet
@@ -270,6 +271,10 @@ let describe_response = function
       Printf.printf "flow: edges=%d value=%d cost=%d rounds=%d bits=%d\n"
         (Array.length flow) value cost rounds bits;
       `Ok ()
+  | Proto.Update_r { n; m; fingerprint; rounds; bits } ->
+      Printf.printf "updated: n=%d m=%d fingerprint=%s rounds=%d bits=%d\n" n m
+        fingerprint rounds bits;
+      `Ok ()
   | Proto.Json_r body ->
       print_string body;
       print_newline ();
@@ -286,16 +291,61 @@ let describe_response = function
         message;
       Stdlib.exit (match code with Proto.Bad_request -> 2 | _ -> 3)
 
-let graph_n_from_info info name =
-  (* the info JSON lists {"name":"g0","n":48,...} per graph *)
+let graph_field_from_info info name key =
+  (* the info JSON lists {"name":"g0","n":48,"m":...} per graph *)
   match substr_index info (Printf.sprintf "\"name\":%S" name) with
   | None ->
       Printf.eprintf "lbcc-serve: daemon has no graph %S\n" name;
       Stdlib.exit 2
-  | Some i ->
-      json_int_exn (String.sub info i (String.length info - i)) "n"
+  | Some i -> json_int_exn (String.sub info i (String.length info - i)) key
 
-let run_client endpoint op graph net rhs_seed eps s t =
+let graph_n_from_info info name = graph_field_from_info info name "n"
+
+(* Delta-op parsers for the client's explicit flags. *)
+let parse_insert s =
+  match String.split_on_char ':' s with
+  | [ u; v; w ] -> (
+      match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt w)
+      with
+      | Some u, Some v, Some w -> Graph.Delta.Insert { Graph.u; v; w }
+      | _ -> failwith ("lbcc-serve: bad --insert " ^ s ^ " (want U:V:W)"))
+  | _ -> failwith ("lbcc-serve: bad --insert " ^ s ^ " (want U:V:W)")
+
+let parse_reweight s =
+  match String.split_on_char ':' s with
+  | [ id; w ] -> (
+      match (int_of_string_opt id, float_of_string_opt w) with
+      | Some id, Some w -> Graph.Delta.Reweight (id, w)
+      | _ -> failwith ("lbcc-serve: bad --reweight " ^ s ^ " (want ID:W)"))
+  | _ -> failwith ("lbcc-serve: bad --reweight " ^ s ^ " (want ID:W)")
+
+(* Seeded random ops against a graph known only by its (n, m) from Info:
+   mostly inserts and reweights, deletes kept rare so a random stream is
+   unlikely to disconnect a sparse fleet graph. *)
+let random_ops ~seed ~n ~m k =
+  let prng = Prng.create seed in
+  List.init k (fun _ ->
+      match Prng.int prng 4 with
+      | 0 | 1 ->
+          let u = Prng.int prng n in
+          let v =
+            let v = Prng.int prng (n - 1) in
+            if v >= u then v + 1 else v
+          in
+          Graph.Delta.Insert { Graph.u; v; w = float_of_int (1 + Prng.int prng 8) }
+      | 2 when m > 0 ->
+          Graph.Delta.Reweight (Prng.int prng m, float_of_int (1 + Prng.int prng 8))
+      | _ when m > 0 -> Graph.Delta.Delete (Prng.int prng m)
+      | _ ->
+          let u = Prng.int prng n in
+          let v =
+            let v = Prng.int prng (n - 1) in
+            if v >= u then v + 1 else v
+          in
+          Graph.Delta.Insert { Graph.u; v; w = float_of_int (1 + Prng.int prng 8) })
+
+let run_client endpoint op graph net rhs_seed eps s t inserts deletes reweights
+    random =
   let c = conn_open endpoint in
   Fun.protect
     ~finally:(fun () -> conn_close c)
@@ -317,6 +367,36 @@ let run_client endpoint op graph net rhs_seed eps s t =
           describe_response
             (snd (rpc c ~id:1 (Proto.Resistance { name = graph; eps; s; t })))
       | "flow" -> describe_response (snd (rpc c ~id:1 (Proto.Flow { name = net })))
+      | "update" ->
+          let explicit =
+            List.map parse_insert inserts
+            @ List.map (fun id -> Graph.Delta.Delete id) deletes
+            @ List.map parse_reweight reweights
+          in
+          let randomized =
+            if random <= 0 then []
+            else begin
+              (* Size the random ops against the daemon's current view of
+                 the graph. *)
+              let info =
+                match rpc c ~id:1 Proto.Info with
+                | _, Proto.Json_r body -> body
+                | _ -> failwith "lbcc-serve: unexpected info reply"
+              in
+              let n = graph_field_from_info info graph "n" in
+              let m = graph_field_from_info info graph "m" in
+              random_ops ~seed:rhs_seed ~n ~m random
+            end
+          in
+          let delta = Graph.Delta.of_ops (explicit @ randomized) in
+          if Graph.Delta.is_empty delta then begin
+            Printf.eprintf
+              "lbcc-serve: empty delta (pass --insert/--delete/--reweight or \
+               --random)\n";
+            Stdlib.exit 2
+          end;
+          describe_response
+            (snd (rpc c ~id:2 (Proto.Update { name = graph; delta })))
       | other -> `Error (true, "unknown operation " ^ other))
 
 let client_cmd =
@@ -324,7 +404,8 @@ let client_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"OP" ~doc:"stats, info, shutdown, solve, resistance or flow.")
+      & info [] ~docv:"OP"
+          ~doc:"stats, info, shutdown, solve, resistance, flow or update.")
   in
   let graph =
     Arg.(value & opt string "g0" & info [ "graph" ] ~docv:"NAME" ~doc:"Fleet graph name.")
@@ -340,12 +421,38 @@ let client_cmd =
   in
   let s_arg = Arg.(value & opt int 0 & info [ "s" ] ~docv:"S" ~doc:"Source vertex.") in
   let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Target vertex.") in
+  let inserts =
+    Arg.(
+      value & opt_all string []
+      & info [ "insert" ] ~docv:"U:V:W"
+          ~doc:"Insert an edge (repeatable; update op only).")
+  in
+  let deletes =
+    Arg.(
+      value & opt_all int []
+      & info [ "delete" ] ~docv:"ID"
+          ~doc:"Delete the edge with this id (repeatable; update op only).")
+  in
+  let reweights =
+    Arg.(
+      value & opt_all string []
+      & info [ "reweight" ] ~docv:"ID:W"
+          ~doc:"Reweight the edge with this id (repeatable; update op only).")
+  in
+  let random =
+    Arg.(
+      value & opt int 0
+      & info [ "random" ] ~docv:"K"
+          ~doc:
+            "Append K seeded random delta ops sized from the daemon's Info \
+             reply (update op only; seeded by --rhs-seed).")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Send one request to a running daemon.")
     Term.(
       ret
         (const run_client $ socket_arg $ op $ graph $ net $ rhs_seed $ eps
-       $ s_arg $ t_arg))
+       $ s_arg $ t_arg $ inserts $ deletes $ reweights $ random))
 
 (* ------------------------------------------------------------------ *)
 (* bench: fork daemons, replay the zipf trace, write BENCH_SERVE.json   *)

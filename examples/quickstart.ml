@@ -18,7 +18,7 @@ let () =
     (Graph.m g) (Graph.total_weight g);
 
   (* 1. Spectral sparsification (Theorem 1.2). *)
-  let s = Lbcc.sparsify ~seed:1 ~epsilon:0.5 ~t:8 g in
+  let s = Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed:1 ()) ~epsilon:0.5 ~t:8 g in
   Printf.printf "\n[Theorem 1.2] sparsifier: m=%d (%.0f%% of input)\n"
     (Graph.m s.Lbcc.sparsifier)
     (100.0 *. float_of_int (Graph.m s.Lbcc.sparsifier) /. float_of_int (Graph.m g));
@@ -31,7 +31,7 @@ let () =
   let b = Vec.zeros 64 in
   b.(0) <- 1.0;
   b.(63) <- -1.0;
-  let r = Lbcc.solve_laplacian ~seed:2 ~eps:1e-8 g ~b in
+  let r = Lbcc.solve_laplacian ~ctx:(Lbcc.Ctx.make ~seed:2 ()) ~eps:1e-8 g ~b in
   Printf.printf "\n[Theorem 1.3] Laplacian solve L x = e_0 - e_63:\n";
   Printf.printf "  residual ||b - Lx||/||b|| = %.2e in %d Chebyshev iterations\n"
     r.Lbcc.residual r.Lbcc.iterations;
@@ -45,7 +45,7 @@ let () =
     Lbcc_flow.Network.random (Prng.create 7) ~n:8 ~density:0.3 ~max_capacity:6
       ~max_cost:5
   in
-  let f = Lbcc.min_cost_max_flow ~seed:3 net in
+  let f = Lbcc.min_cost_max_flow ~ctx:(Lbcc.Ctx.make ~seed:3 ()) net in
   Printf.printf "\n[Theorem 1.1] min-cost max-flow on a random 8-vertex network:\n";
   Printf.printf "  value = %d, cost = %d, exact vs combinatorial baseline: %b\n"
     f.Lbcc.value f.Lbcc.cost f.Lbcc.exact;

@@ -70,8 +70,8 @@ type sparsifier_result = {
   rounds : rounds_report;
 }
 
-let sparsify ?ctx ?seed ?(epsilon = 0.5) ?t ?tracer ?metrics g =
-  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+let sparsify ?ctx ?(epsilon = 0.5) ?t g =
+  let c = Ctx.resolve ?ctx () in
   let seed = c.Ctx.seed and tracer = c.Ctx.tracer and metrics = c.Ctx.metrics in
   let n = Graph.n g in
   let acc = fresh_accountant ?tracer ~n () in
@@ -114,8 +114,8 @@ let mirror_prepare acc p =
     (fun (label, rounds, bits) -> Rounds.charge acc ~bits ~label ~rounds)
     (Prepared.prepare_breakdown p)
 
-let solve_laplacian ?ctx ?seed ?(eps = 1e-8) ?tracer ?metrics g ~b =
-  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+let solve_laplacian ?ctx ?(eps = 1e-8) g ~b =
+  let c = Ctx.resolve ?ctx () in
   let acc = fresh_accountant ?tracer:c.Ctx.tracer ~n:(Graph.n g) () in
   let p, hit = Prepared.create_cached ~ctx:c g in
   if not hit then mirror_prepare acc p;
@@ -144,8 +144,8 @@ type flow_result = {
   rounds : rounds_report;
 }
 
-let min_cost_max_flow ?ctx ?seed ?tracer ?metrics net =
-  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+let min_cost_max_flow ?ctx net =
+  let c = Ctx.resolve ?ctx () in
   let seed = c.Ctx.seed and tracer = c.Ctx.tracer and metrics = c.Ctx.metrics in
   let acc = fresh_accountant ?tracer ~n:net.Network.n () in
   let r = Lbcc_flow.Mcmf_lp.solve ~accountant:acc ~prng:(Prng.create seed) net in
@@ -171,8 +171,8 @@ type resistance_result = {
   rounds : rounds_report;
 }
 
-let effective_resistance ?ctx ?seed ?tracer ?metrics g ~s ~t =
-  let c = Ctx.resolve ?ctx ?seed ?tracer ?metrics () in
+let effective_resistance ?ctx g ~s ~t =
+  let c = Ctx.resolve ?ctx () in
   let acc = fresh_accountant ?tracer:c.Ctx.tracer ~n:(Graph.n g) () in
   let p, hit = Prepared.create_cached ~ctx:c g in
   if not hit then mirror_prepare acc p;

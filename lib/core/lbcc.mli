@@ -15,10 +15,11 @@
     [Lbcc_linalg], [Lbcc_util]); this module is the curated front door.
 
     {b Run contexts.}  Every entry point accepts a {!Ctx.t} bundling the
-    seed / tracer / metrics triple.  The per-call [?seed]/[?tracer]/
-    [?metrics] labels are deprecated compatibility wrappers over [?ctx]
-    (an explicitly passed label overrides the corresponding [ctx] field);
-    new code should build one context and pass it everywhere.
+    seed / tracer / metrics / reliability bundle — the {e only}
+    configuration door (the historical per-call [?seed]/[?tracer]/
+    [?metrics] labels were deprecated when the Prepared layer landed and
+    are now gone).  Build one context with {!Ctx.make} and pass it
+    everywhere.
 
     {b Prepared handles.}  {!solve_laplacian} and {!effective_resistance}
     now route through the {!Prepared} service layer: Theorem 1.3's
@@ -67,22 +68,12 @@ type sparsifier_result = {
 }
 
 val sparsify :
-  ?ctx:Ctx.t ->
-  ?seed:int ->
-  ?epsilon:float ->
-  ?t:int ->
-  ?tracer:Lbcc_obs.Trace.t ->
-  ?metrics:Lbcc_obs.Metrics.t ->
-  Graph.t ->
-  sparsifier_result
+  ?ctx:Ctx.t -> ?epsilon:float -> ?t:int -> Graph.t -> sparsifier_result
 (** Spectral sparsification (Theorem 1.2) of a connected weighted graph.
     [epsilon] defaults to [0.5]; [t] overrides the bundle size.  With a
     tracer the run's phases open spans under the caller's current span;
     with metrics the run bumps the registry (see the "Metrics" section
-    of the README for the label set).
-    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
-    instead.  They remain as thin wrappers (each overrides the matching
-    [ctx] field) and will be removed once in-tree callers are migrated. *)
+    of the README for the label set). *)
 
 type laplacian_result = {
   solution : Vec.t;
@@ -94,14 +85,7 @@ type laplacian_result = {
 }
 
 val solve_laplacian :
-  ?ctx:Ctx.t ->
-  ?seed:int ->
-  ?eps:float ->
-  ?tracer:Lbcc_obs.Trace.t ->
-  ?metrics:Lbcc_obs.Metrics.t ->
-  Graph.t ->
-  b:Vec.t ->
-  laplacian_result
+  ?ctx:Ctx.t -> ?eps:float -> Graph.t -> b:Vec.t -> laplacian_result
 (** High-precision Laplacian solve (Theorem 1.3): [eps] defaults to
     [1e-8]; [b] must have zero sum; the graph must be connected.
 
@@ -110,10 +94,7 @@ val solve_laplacian :
     with the same (graph, seed) reuse the cached handle and report only
     query-phase rounds ([query/*]).  [preprocessing_rounds] always records
     the handle's one-time cost; [rounds.total] reflects what {e this} call
-    charged.
-    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
-    instead.  They remain as thin wrappers (each overrides the matching
-    [ctx] field) and will be removed once in-tree callers are migrated. *)
+    charged. *)
 
 type flow_result = {
   flow : float array;
@@ -124,21 +105,12 @@ type flow_result = {
   rounds : rounds_report;
 }
 
-val min_cost_max_flow :
-  ?ctx:Ctx.t ->
-  ?seed:int ->
-  ?tracer:Lbcc_obs.Trace.t ->
-  ?metrics:Lbcc_obs.Metrics.t ->
-  Network.t ->
-  flow_result
+val min_cost_max_flow : ?ctx:Ctx.t -> Network.t -> flow_result
 (** Exact minimum-cost maximum s-t flow (Theorem 1.1) through the interior
     point pipeline, certified against successive shortest paths.  The LP
     instance and normal-operator workspaces are prepared once (one
     [mcmf/prepare/*] phase in the report); every IPM iteration then charges
-    only [query/*] solve rounds.
-    @deprecated the [?seed]/[?tracer]/[?metrics] labels: pass [?ctx]
-    instead.  They remain as thin wrappers (each overrides the matching
-    [ctx] field) and will be removed once in-tree callers are migrated. *)
+    only [query/*] solve rounds. *)
 
 type resistance_result = {
   resistance : float;  (** [R_eff(s,t) = (e_s - e_t)^T L^+ (e_s - e_t)] *)
@@ -148,20 +120,12 @@ type resistance_result = {
 }
 
 val effective_resistance :
-  ?ctx:Ctx.t ->
-  ?seed:int ->
-  ?tracer:Lbcc_obs.Trace.t ->
-  ?metrics:Lbcc_obs.Metrics.t ->
-  Graph.t ->
-  s:int ->
-  t:int ->
-  resistance_result
+  ?ctx:Ctx.t -> Graph.t -> s:int -> t:int -> resistance_result
 (** Effective resistance between two vertices via the Laplacian solver —
     the classical first application of the Laplacian paradigm.  Routed
     through the {!Prepared} cache like {!solve_laplacian}, and — unlike the
     historical float-returning version — reports its round accounting
-    instead of discarding it.
-    @deprecated the [?seed] label: pass [?ctx] instead. *)
+    instead of discarding it. *)
 
 val version : string
 

@@ -104,7 +104,7 @@ let sparsify ?(seed = 1) ?(epsilon = 0.5) ?t ?max_retries ?accept g =
     ~run:(fun ~seed ~attempt ->
       (* Backoff: doubling the bundle size doubles the w.h.p. exponent. *)
       let t = base_t * (1 lsl (attempt - 1)) in
-      Lbcc.sparsify ~seed ~epsilon ~t g)
+      Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed ()) ~epsilon ~t g)
     ~accept
     ~score:(fun r -> r.Lbcc.epsilon_achieved)
     ~rounds:(fun r -> r.Lbcc.rounds.Lbcc.total)
@@ -122,7 +122,7 @@ let solve_laplacian ?(seed = 1) ?(eps = 1e-8) ?max_retries ?accept g ~b =
           Float.is_finite r.Lbcc.residual && r.Lbcc.residual <= 10.0 *. eps
   in
   retry ?max_retries ~seed
-    ~run:(fun ~seed ~attempt:_ -> Lbcc.solve_laplacian ~seed ~eps g ~b)
+    ~run:(fun ~seed ~attempt:_ -> Lbcc.solve_laplacian ~ctx:(Lbcc.Ctx.make ~seed ()) ~eps g ~b)
     ~accept
     ~score:(fun r -> r.Lbcc.residual)
     ~rounds:(fun r -> r.Lbcc.preprocessing_rounds + r.Lbcc.solve_rounds)
@@ -137,7 +137,7 @@ let min_cost_max_flow ?(seed = 1) ?max_retries ?accept net =
     | None -> fun (r : Lbcc.flow_result) -> r.Lbcc.exact
   in
   retry ?max_retries ~seed
-    ~run:(fun ~seed ~attempt:_ -> Lbcc.min_cost_max_flow ~seed net)
+    ~run:(fun ~seed ~attempt:_ -> Lbcc.min_cost_max_flow ~ctx:(Lbcc.Ctx.make ~seed ()) net)
     ~accept
     ~score:(fun r -> if r.Lbcc.exact then 0.0 else 1.0)
     ~rounds:(fun r -> r.Lbcc.rounds.Lbcc.total)

@@ -162,6 +162,57 @@ let random_regularish prng ~n ~degree ~w_max =
   done;
   Graph.create ~n (dedupe_edges !edges)
 
+let delta ?(w_max = 1) ?(connected = false) prng ~graph ~inserts ~deletes
+    ~reweights () =
+  let n = Graph.n graph and m = Graph.m graph in
+  if n < 2 then invalid_arg "Gen.delta: graph must have >= 2 vertices";
+  let random_insert () =
+    let u = Prng.int prng n in
+    let v = ref (Prng.int prng (n - 1)) in
+    if !v >= u then incr v;
+    Graph.Delta.Insert { Graph.u; v = !v; w = weight prng w_max }
+  in
+  let ins = List.init inserts (fun _ -> random_insert ()) in
+  let rw =
+    if m = 0 then []
+    else
+      List.init reweights (fun _ ->
+          Graph.Delta.Reweight (Prng.int prng m, weight prng w_max))
+  in
+  let pick_deletes () =
+    if m = 0 then []
+    else begin
+      let chosen = Hashtbl.create 8 in
+      let want = Stdlib.min deletes m in
+      (* Distinct ids; bounded rejection keeps the draw deterministic. *)
+      let attempts = ref 0 in
+      while Hashtbl.length chosen < want && !attempts < 64 * want do
+        incr attempts;
+        let id = Prng.int prng m in
+        if not (Hashtbl.mem chosen id) then Hashtbl.add chosen id ()
+      done;
+      let dels = ref [] in
+      Tbl.iter_sorted ~compare:Int.compare
+        (fun id () -> dels := Graph.Delta.Delete id :: !dels)
+        chosen;
+      !dels
+    end
+  in
+  let build dels = Graph.Delta.of_ops (ins @ rw @ dels) in
+  if not connected then build (pick_deletes ())
+  else begin
+    (* Rejection-sample delete sets that would disconnect the graph; after a
+       few failures fall back to a delete-free delta. *)
+    let rec try_deletes k =
+      if k = 0 then build []
+      else
+        let d = build (pick_deletes ()) in
+        if Graph.is_connected (Graph.apply graph d) then d
+        else try_deletes (k - 1)
+    in
+    try_deletes 16
+  end
+
 let dumbbell_expander prng ~n ~w_max =
   if n < 8 then invalid_arg "Gen.dumbbell_expander: n must be >= 8";
   let half = n / 2 in

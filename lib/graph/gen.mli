@@ -40,3 +40,20 @@ val random_regularish : Prng.t -> n:int -> degree:int -> w_max:int -> Graph.t
 
 val dumbbell_expander : Prng.t -> n:int -> w_max:int -> Graph.t
 (** Two expander halves joined by a single edge — worst-case conductance. *)
+
+val delta :
+  ?w_max:int ->
+  ?connected:bool ->
+  Prng.t ->
+  graph:Graph.t ->
+  inserts:int ->
+  deletes:int ->
+  reweights:int ->
+  unit ->
+  Graph.Delta.t
+(** Random normalized delta against [graph]: [inserts] fresh edges,
+    [deletes] distinct existing ids, [reweights] redrawn weights (all
+    weights uniform in [\[1, w_max\]]).  With [~connected:true], delete sets
+    that would disconnect the applied graph are rejection-sampled away
+    (falling back to a delete-free delta), so update benchmarks always feed
+    the solver connected inputs. *)

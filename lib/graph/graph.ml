@@ -175,3 +175,151 @@ let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
   Array.iteri (fun id e -> Format.fprintf ppf "e%d: %d-%d w=%g@," id e.u e.v e.w) g.edges;
   Format.fprintf ppf "@]"
+
+module Delta = struct
+  type op = Insert of edge | Delete of int | Reweight of int * float
+
+  type t = {
+    inserts : edge array;
+    deletes : int array;
+    reweights : (int * float) array;
+  }
+
+  let empty = { inserts = [||]; deletes = [||]; reweights = [||] }
+
+  let check_insert (e : edge) =
+    if e.u < 0 || e.v < 0 then
+      invalid_arg "Graph.Delta: negative insert endpoint";
+    if e.u = e.v then invalid_arg "Graph.Delta: self-loop insert";
+    if e.w <= 0.0 || not (Float.is_finite e.w) then
+      invalid_arg "Graph.Delta: insert weight must be positive and finite"
+
+  let compare_insert (a : edge) (b : edge) =
+    let c = Int.compare a.u b.u in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.v b.v in
+      if c <> 0 then c
+      else Int64.compare (Int64.bits_of_float a.w) (Int64.bits_of_float b.w)
+
+  (* Sequential semantics over the pre-delta edge ids: for ops targeting the
+     same existing id the last one wins, so a Reweight followed by a Delete is
+     just the Delete.  The normal form is order-free — inserts canonically
+     oriented (u <= v) and sorted, delete/reweight ids sorted and distinct —
+     so two op lists with the same effect normalize to equal values. *)
+  let of_ops ops =
+    let touched = Hashtbl.create 16 in
+    let inserts = ref [] in
+    List.iter
+      (fun op ->
+        match op with
+        | Insert e ->
+            check_insert e;
+            let e = if e.u <= e.v then e else { e with u = e.v; v = e.u } in
+            inserts := e :: !inserts
+        | Delete id ->
+            if id < 0 then invalid_arg "Graph.Delta: negative edge id";
+            Hashtbl.replace touched id `Delete
+        | Reweight (id, w) ->
+            if id < 0 then invalid_arg "Graph.Delta: negative edge id";
+            if w <= 0.0 || not (Float.is_finite w) then
+              invalid_arg "Graph.Delta: reweight must be positive and finite";
+            Hashtbl.replace touched id (`Reweight w))
+      ops;
+    let deletes = ref [] and reweights = ref [] in
+    Lbcc_util.Tbl.iter_sorted ~compare:Int.compare
+      (fun id op ->
+        match op with
+        | `Delete -> deletes := id :: !deletes
+        | `Reweight w -> reweights := (id, w) :: !reweights)
+      touched;
+    let inserts = Array.of_list (List.rev !inserts) in
+    Array.sort compare_insert inserts;
+    {
+      inserts;
+      deletes = Array.of_list (List.rev !deletes);
+      reweights = Array.of_list (List.rev !reweights);
+    }
+
+  let ops d =
+    Array.to_list (Array.map (fun id -> Delete id) d.deletes)
+    @ Array.to_list (Array.map (fun (id, w) -> Reweight (id, w)) d.reweights)
+    @ Array.to_list (Array.map (fun e -> Insert e) d.inserts)
+
+  let inserts d = d.inserts
+  let deletes d = d.deletes
+  let reweights d = d.reweights
+
+  let size d =
+    Array.length d.inserts + Array.length d.deletes + Array.length d.reweights
+
+  let is_empty d = size d = 0
+
+  let max_id d =
+    let hi = ref (-1) in
+    Array.iter (fun id -> hi := Stdlib.max !hi id) d.deletes;
+    Array.iter (fun (id, _) -> hi := Stdlib.max !hi id) d.reweights;
+    !hi
+
+  let pp ppf d =
+    Format.fprintf ppf "@[<v>delta +%d -%d ~%d@," (Array.length d.inserts)
+      (Array.length d.deletes)
+      (Array.length d.reweights);
+    Array.iter (fun id -> Format.fprintf ppf "del e%d@," id) d.deletes;
+    Array.iter
+      (fun (id, w) -> Format.fprintf ppf "rw e%d w=%g@," id w)
+      d.reweights;
+    Array.iter
+      (fun (e : edge) -> Format.fprintf ppf "ins %d-%d w=%g@," e.u e.v e.w)
+      d.inserts;
+    Format.fprintf ppf "@]"
+end
+
+let check_delta g (d : Delta.t) =
+  let m0 = m g in
+  if Delta.max_id d >= m0 then
+    invalid_arg "Graph.apply: delta references an edge id out of range"
+
+(* Apply a normalized delta: survivors keep their relative order and are
+   compacted to ids [0 .. m'-#inserts-1]; inserted edges follow in the
+   delta's canonical order.  The remap array sends each pre-delta edge id to
+   its post-delta id, or -1 if deleted. *)
+let apply_mapped g (d : Delta.t) =
+  check_delta g d;
+  let m0 = m g in
+  let drop = Array.make m0 false in
+  Array.iter (fun id -> drop.(id) <- true) (Delta.deletes d);
+  let w = Array.map (fun e -> e.w) g.edges in
+  Array.iter (fun (id, nw) -> if not drop.(id) then w.(id) <- nw)
+    (Delta.reweights d);
+  let remap = Array.make m0 (-1) in
+  let survivors = ref [] and next = ref 0 in
+  for id = m0 - 1 downto 0 do
+    if not drop.(id) then survivors := id :: !survivors
+  done;
+  let kept =
+    List.map
+      (fun id ->
+        remap.(id) <- !next;
+        incr next;
+        { (g.edges.(id)) with w = w.(id) })
+      !survivors
+  in
+  let edges = Array.append (Array.of_list kept) (Delta.inserts d) in
+  (of_edge_array ~n:g.n edges, remap)
+
+let apply g d = fst (apply_mapped g d)
+
+(* Vertices incident to any edge the delta inserts, deletes, or reweights —
+   the neighborhoods an incremental re-sparsification must revisit. *)
+let delta_touched g (d : Delta.t) =
+  check_delta g d;
+  let hit = Array.make g.n false in
+  let mark_edge (e : edge) =
+    hit.(e.u) <- true;
+    hit.(e.v) <- true
+  in
+  Array.iter mark_edge (Delta.inserts d);
+  Array.iter (fun id -> mark_edge g.edges.(id)) (Delta.deletes d);
+  Array.iter (fun (id, _) -> mark_edge g.edges.(id)) (Delta.reweights d);
+  hit

@@ -82,3 +82,63 @@ val equal_structure : t -> t -> bool
     order and float equality); used by tests. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Batched mutation}
+
+    A {!Delta.t} is a batch of edge inserts, deletes, and reweights against
+    one graph version, with every delete/reweight naming a {e pre-delta}
+    edge id.  Deltas carry a canonical normal form (inserts canonically
+    oriented and sorted, delete/reweight ids sorted and deduplicated with
+    last-op-wins semantics), so equal mutations compare equal and every
+    consumer — fingerprint patching, incremental re-sparsification, the
+    serve-daemon [update] opcode — sees the same bytes for the same edit. *)
+
+module Delta : sig
+  type op =
+    | Insert of edge  (** add a (possibly parallel) edge *)
+    | Delete of int  (** remove the edge with this pre-delta id *)
+    | Reweight of int * float  (** replace the weight of a pre-delta id *)
+
+  type t
+
+  val empty : t
+
+  val of_ops : op list -> t
+  (** Normalize an op sequence.  Ops are interpreted left to right against a
+      single graph version: for the same edge id the last op wins (a
+      [Reweight] followed by a [Delete] is the [Delete]).
+      @raise Invalid_argument on self-loop inserts, non-positive or
+      non-finite weights, or negative edge ids. *)
+
+  val ops : t -> op list
+  (** The normal form as an op list: deletes, then reweights, then inserts. *)
+
+  val inserts : t -> edge array
+  val deletes : t -> int array
+  val reweights : t -> (int * float) array
+
+  val size : t -> int
+  (** Total op count after normalization. *)
+
+  val is_empty : t -> bool
+
+  val max_id : t -> int
+  (** Largest pre-delta edge id referenced, or [-1] if none. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val apply : t -> Delta.t -> t
+(** Apply a delta: surviving edges keep their relative order and are
+    re-indexed compactly, inserted edges follow in canonical order, and the
+    vertex set is unchanged.
+    @raise Invalid_argument if the delta references an edge id [>= m] or an
+    insert endpoint [>= n]. *)
+
+val apply_mapped : t -> Delta.t -> t * int array
+(** Like {!apply}, also returning the edge-id remap: entry [id] is the
+    post-delta id of pre-delta edge [id], or [-1] if it was deleted. *)
+
+val delta_touched : t -> Delta.t -> bool array
+(** Per-vertex flag: incident to an inserted, deleted, or reweighted edge —
+    the neighborhoods incremental re-sparsification must revisit. *)

@@ -62,7 +62,7 @@ let rec with_phases acc phases f =
   | p :: rest -> Rounds.with_phase acc p (fun () -> with_phases acc rest f)
 
 let preprocess ?accountant ?(phases = [ "solve"; "preprocess" ]) ?t ?t_scale ?k
-    ?certify ?(backend = `Lu) ~prng ~graph () =
+    ?certify ?(backend = `Lu) ?sparsifier ~prng ~graph () =
   if not (Graph.is_connected graph) then
     invalid_arg "Solver.preprocess: graph must be connected";
   let n = Graph.n graph in
@@ -72,10 +72,22 @@ let preprocess ?accountant ?(phases = [ "solve"; "preprocess" ]) ?t ?t_scale ?k
   in
   let start = Rounds.checkpoint acc in
   with_phases acc phases @@ fun () ->
-  let sp =
-    Sparsify.run ~accountant:acc ?t ?t_scale ?k ~prng ~graph ~epsilon:0.5 ()
+  let h =
+    match sparsifier with
+    | Some h ->
+        (* Externally maintained H (an incremental Sparsify.sketch): the
+           caller already paid its broadcast rounds, so only the
+           vertex-internal factor + certify steps remain here. *)
+        if Graph.n h <> n then
+          invalid_arg "Solver.preprocess: sparsifier vertex count mismatch";
+        if not (Graph.is_connected h) then
+          invalid_arg "Solver.preprocess: sparsifier must be connected";
+        h
+    | None ->
+        (Sparsify.run ~accountant:acc ?t ?t_scale ?k ~prng ~graph
+           ~epsilon:0.5 ())
+          .Sparsify.sparsifier
   in
-  let h = sp.Sparsify.sparsifier in
   (* The sparsifier preserves connectivity of the input (each bundle begins
      with a spanner of the surviving edges), so factoring cannot fail. *)
   let precond =

@@ -44,11 +44,17 @@ val preprocess :
   ?k:int ->
   ?certify:[ `Exact | `Power of int | `Probe of int ] ->
   ?backend:[ `Lu | `Cg ] ->
+  ?sparsifier:Graph.t ->
   prng:Prng.t ->
   graph:Graph.t ->
   unit ->
   t
-(** Sparsify, factor [L_H], certify [kappa].  [certify] selects the exact
+(** Sparsify, factor [L_H], certify [kappa].  When [sparsifier] is given it
+    is used as [H] directly and the internal sparsification is skipped —
+    the door the incremental-update path uses to rebuild a prepared
+    operator from a patched {!Lbcc_sparsifier.Sparsify.sketch} without
+    paying full re-sparsification rounds ([t]/[t_scale]/[k] are then
+    ignored; the caller has already charged the sketch's rounds).  [certify] selects the exact
     eigen certificate (default for [n <= 400]), power iteration on the
     pencil (default above, tight and [O(n^3)]-free per step), or cheap
     randomized probing.  [phases] relabels the accountant phase nesting for

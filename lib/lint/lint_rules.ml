@@ -61,7 +61,7 @@ let everywhere _ = true
 let phase_vocabulary =
   [ "prepare"; "query"; "solve"; "preprocess"; "sparsify"; "spanner"; "mcmf";
     "ipm"; "retransmit"; "byz-echo"; "gossip"; "engine"; "scale"; "serve";
-    "admit"; "coalesce" ]
+    "admit"; "coalesce"; "update"; "delta" ]
 
 let rules =
   [

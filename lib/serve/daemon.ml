@@ -22,6 +22,7 @@ module Json = Lbcc_obs.Json
 module Ctx = Lbcc_service.Ctx
 module Cache = Lbcc_service.Cache
 module Prepared = Lbcc_service.Prepared
+module Fingerprint = Lbcc_service.Fingerprint
 module Lbcc = Lbcc_core.Lbcc
 
 type config = {
@@ -45,6 +46,7 @@ type work =
   | W_solve of { entry : Fleet.entry; eps : float; b : Vec.t }
   | W_resist of { entry : Fleet.entry; eps : float; s : int; t : int }
   | W_flow of { nentry : Fleet.net_entry }
+  | W_update of { entry : Fleet.entry; delta : Graph.Delta.t }
 
 type pending_req = { client : int; id : int; work : work; t_admit : float }
 
@@ -210,6 +212,9 @@ let key_of_work = function
       Printf.sprintf "r|%s|%Lx" entry.Fleet.fingerprint_hex
         (Int64.bits_of_float eps)
   | W_flow { nentry } -> Printf.sprintf "f|%s" nentry.Fleet.net_name
+  (* Updates bin per graph *name*, not fingerprint: consecutive deltas to
+     one graph coalesce into a batch and apply in admission order. *)
+  | W_update { entry; _ } -> Printf.sprintf "u|%s" entry.Fleet.name
 
 let admit t ~client ~id work =
   if t.shutting_down then
@@ -257,6 +262,31 @@ let handle t ~client ~id (req : Proto.request) =
       | None ->
           respond t ~client ~id (err Proto.Bad_request ("unknown network " ^ name))
       | Some nentry -> admit t ~client ~id (W_flow { nentry }))
+  | Proto.Update { name; delta } -> (
+      match Fleet.find t.fleet name with
+      | None -> respond t ~client ~id (err Proto.Bad_request ("unknown graph " ^ name))
+      | Some entry ->
+          (* Fast-fail on ids beyond the current edge count; the definitive
+             validation happens at execution time against the graph version
+             the update actually lands on (earlier queued updates may have
+             changed m either way). *)
+          if Graph.Delta.max_id delta >= Graph.m entry.Fleet.graph then
+            respond t ~client ~id
+              (err Proto.Bad_request
+                 (Printf.sprintf "delta references edge id >= m (%d)"
+                    (Graph.m entry.Fleet.graph)))
+          else if
+            Array.exists
+              (fun (e : Graph.edge) ->
+                e.Graph.u >= Graph.n entry.Fleet.graph
+                || e.Graph.v >= Graph.n entry.Fleet.graph)
+              (Graph.Delta.inserts delta)
+          then
+            respond t ~client ~id
+              (err Proto.Bad_request
+                 (Printf.sprintf "insert endpoint >= n (%d)"
+                    (Graph.n entry.Fleet.graph)))
+          else admit t ~client ~id (W_update { entry; delta }))
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -275,7 +305,7 @@ let rhs_of (req : pending_req) n =
       b.(s) <- b.(s) +. 1.0;
       b.(tgt) <- b.(tgt) -. 1.0;
       b
-  | W_flow _ -> invalid_arg "Daemon.rhs_of: flow op"
+  | W_flow _ | W_update _ -> invalid_arg "Daemon.rhs_of: not a solve op"
 
 let execute_solve_batch t (entry : Fleet.entry) eps reqs =
   let n = Graph.n entry.Fleet.graph in
@@ -306,7 +336,8 @@ let execute_solve_batch t (entry : Fleet.entry) eps reqs =
                  rounds = q.Prepared.rounds;
                  bits = q.Prepared.bits;
                })
-      | W_flow _ -> failwith "Daemon.execute_solve_batch: flow op in solve bin")
+      | W_flow _ | W_update _ ->
+          failwith "Daemon.execute_solve_batch: non-solve op in solve bin")
     reqs results
 
 let execute_flow t (req : pending_req) =
@@ -327,6 +358,57 @@ let execute_flow t (req : pending_req) =
            })
   | _ -> failwith "Daemon.execute_flow: non-flow op"
 
+(* One update, in admission order within its batch.  Errors are isolated
+   per request (a bad delta answers Bad_request and leaves the graph on its
+   pre-delta version) so queued siblings still apply — and so a mid-batch
+   failure can never double-respond to already-finished members. *)
+let execute_update t (req : pending_req) =
+  match req.work with
+  | W_update { entry; delta } -> (
+      try
+        let response =
+          match t.cache with
+          | Some cache ->
+              (* Patch the hot handle in place: fetch (or build) the handle
+                 for the current graph version, update it incrementally, and
+                 re-key the cache where the next prepare will look. *)
+              let h = handle_for t entry in
+              let h' =
+                Rounds.with_phase t.acc "serve" (fun () ->
+                    Prepared.update_cached ~cache ~accountant:t.acc h delta)
+              in
+              let g' = Prepared.graph h' in
+              Fleet.set_graph entry g'
+                ~fingerprint_hex:(Prepared.fingerprint_hex h');
+              Proto.Update_r
+                {
+                  n = Graph.n g';
+                  m = Graph.m g';
+                  fingerprint = Prepared.fingerprint_hex h';
+                  rounds = Prepared.preprocessing_rounds h';
+                  bits = Prepared.preprocessing_bits h';
+                }
+          | None ->
+              (* Uncached mode keeps no handle to patch: apply the delta now
+                 and let the next batch pay preprocessing afresh, exactly
+                 like every other request in this mode (rounds = 0 here;
+                 the rebuild cost lands on the batch that triggers it). *)
+              let g' = Graph.apply entry.Fleet.graph delta in
+              if not (Graph.is_connected g') then
+                invalid_arg "Daemon: update would disconnect the graph";
+              let fp_hex = Fingerprint.to_hex (Fingerprint.graph g') in
+              Fleet.set_graph entry g' ~fingerprint_hex:fp_hex;
+              Proto.Update_r
+                { n = Graph.n g'; m = Graph.m g'; fingerprint = fp_hex;
+                  rounds = 0; bits = 0 }
+        in
+        Metrics.inc (Some t.metrics) "serve.updates";
+        finish t req response
+      with
+      | Invalid_argument msg -> finish t req (err Proto.Bad_request msg)
+      | e -> finish t req (err Proto.Internal (Printexc.to_string e)))
+  | _ -> failwith "Daemon.execute_update: non-update op"
+
 let execute_batch t (batch : pending_req Sched.batch) =
   match batch.Sched.items with
   | [] -> ()
@@ -334,6 +416,11 @@ let execute_batch t (batch : pending_req Sched.batch) =
       try
         match first.work with
         | W_flow _ -> List.iter (execute_flow t) batch.Sched.items
+        | W_update _ ->
+            (* execute_update isolates failures per request; iteration order
+               is the batch's admission order, which fixes update visibility
+               deterministically. *)
+            List.iter (execute_update t) batch.Sched.items
         | W_solve { entry; eps; _ } | W_resist { entry; eps; _ } ->
             execute_solve_batch t entry eps batch.Sched.items
       with e ->

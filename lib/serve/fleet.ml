@@ -50,8 +50,9 @@ let default_config =
 
 type entry = {
   name : string;
-  graph : Graph.t;
-  fingerprint_hex : string;  (* precomputed: the admission-path bin key *)
+  mutable graph : Graph.t;
+  mutable fingerprint_hex : string;  (* precomputed: the admission-path bin key *)
+  mutable generation : int;  (* deltas applied since build *)
 }
 
 type net_entry = { net_name : string; net : Network.t }
@@ -81,6 +82,7 @@ let build cfg =
           name = Printf.sprintf "g%d" i;
           graph;
           fingerprint_hex = Fingerprint.to_hex (Fingerprint.graph graph);
+          generation = 0;
         })
   in
   let nets =
@@ -97,6 +99,13 @@ let build cfg =
 
 let find t name = List.find_opt (fun e -> String.equal e.name name) t.entries
 
+(* The update path hands us the already-patched fingerprint (O(|delta|) via
+   Fingerprint.apply), so replacing a graph never rehashes it. *)
+let set_graph e graph ~fingerprint_hex =
+  e.graph <- graph;
+  e.fingerprint_hex <- fingerprint_hex;
+  e.generation <- e.generation + 1
+
 let find_net t name =
   List.find_opt (fun e -> String.equal e.net_name name) t.nets
 
@@ -104,7 +113,7 @@ let info_json t =
   let open Lbcc_obs.Json in
   Obj
     [
-      ("schema", String "lbcc-serve-info/1");
+      ("schema", String "lbcc-serve-info/2");
       ( "graphs",
         Arr
           (List.map
@@ -115,6 +124,7 @@ let info_json t =
                    ("n", Int (Graph.n e.graph));
                    ("m", Int (Graph.m e.graph));
                    ("fingerprint", String e.fingerprint_hex);
+                   ("generation", Int e.generation);
                  ])
              t.entries) );
       ( "networks",

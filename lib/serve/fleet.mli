@@ -28,9 +28,10 @@ val default_config : config
 
 type entry = {
   name : string;
-  graph : Graph.t;
-  fingerprint_hex : string;
+  mutable graph : Graph.t;  (** mutate via {!set_graph} only *)
+  mutable fingerprint_hex : string;
       (** structural fingerprint, precomputed — the scheduler's bin key *)
+  mutable generation : int;  (** deltas applied since {!build} *)
 }
 
 type net_entry = { net_name : string; net : Network.t }
@@ -45,6 +46,13 @@ val build : config -> t
 val find : t -> string -> entry option
 val find_net : t -> string -> net_entry option
 
+val set_graph : entry -> Graph.t -> fingerprint_hex:string -> unit
+(** Replace an entry's graph in place (the daemon's [update] opcode):
+    installs the new graph and its already-patched fingerprint and bumps
+    the generation.  Requests admitted earlier but dispatched after this
+    call observe the new graph — update visibility is a pure function of
+    the dispatch order, which the scheduler keeps deterministic. *)
+
 val info_json : t -> Lbcc_obs.Json.t
-(** Fleet roster ([lbcc-serve-info/1]): name, size and fingerprint per
-    graph — what the daemon answers to an [Info] request. *)
+(** Fleet roster ([lbcc-serve-info/2]): name, size, fingerprint and update
+    generation per graph — what the daemon answers to an [Info] request. *)

@@ -1,7 +1,12 @@
 (* Wire protocol for lbcc_serve: length-prefixed binary frames.
 
    Frame   = u32_be payload length ++ payload
-   Payload = u8 opcode ++ u32_be request id ++ opcode-specific body
+   Payload = u8 version ++ u8 opcode ++ u32_be request id
+             ++ opcode-specific body
+
+   Version 1 had no version byte; version 2 added it together with the
+   Update opcode (0x07/0x87), so both sides fail fast on a mixed
+   deployment instead of misparsing a mutation.
 
    Integers are big-endian; floats travel as their IEEE-754 bit pattern
    (Int64.bits_of_float), so a solution vector round-trips bit-for-bit —
@@ -9,7 +14,11 @@
    direct Lbcc calls at the bit level, and the codec must not be the
    component that loses a ulp. *)
 
+module Graph = Lbcc_graph.Graph
+
 exception Decode_error of string
+
+let version = 2
 
 let max_payload = 1 lsl 26
 (* 64 MiB: generous for any fleet graph (an n-vertex solve response is
@@ -22,6 +31,7 @@ type request =
   | Solve of { name : string; eps : float; b : float array }
   | Resistance of { name : string; eps : float; s : int; t : int }
   | Flow of { name : string }
+  | Update of { name : string; delta : Graph.Delta.t }
   | Stats
   | Info
   | Shutdown
@@ -44,6 +54,13 @@ type response =
     }
   | Json_r of string
   | Ok_r
+  | Update_r of {
+      n : int;
+      m : int;
+      fingerprint : string;
+      rounds : int;
+      bits : int;
+    }
   | Error_r of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -75,9 +92,30 @@ let error_of_code = function
   | c -> raise (Decode_error (Printf.sprintf "unknown error code %d" c))
 
 let encode_payload buf ~id op body =
+  add_u8 buf version;
   add_u8 buf op;
   add_u32 buf id;
   body buf
+
+let add_delta buf d =
+  let dels = Graph.Delta.deletes d in
+  add_u32 buf (Array.length dels);
+  Array.iter (fun id -> add_u32 buf id) dels;
+  let rws = Graph.Delta.reweights d in
+  add_u32 buf (Array.length rws);
+  Array.iter
+    (fun (id, w) ->
+      add_u32 buf id;
+      add_f64 buf w)
+    rws;
+  let ins = Graph.Delta.inserts d in
+  add_u32 buf (Array.length ins);
+  Array.iter
+    (fun (e : Graph.edge) ->
+      add_u32 buf e.Graph.u;
+      add_u32 buf e.Graph.v;
+      add_f64 buf e.Graph.w)
+    ins
 
 let frame_of buf =
   let payload = Buffer.contents buf in
@@ -104,6 +142,10 @@ let encode_request ~id req =
           add_u32 buf t)
   | Flow { name } ->
       encode_payload buf ~id 0x03 (fun buf -> add_string buf name)
+  | Update { name; delta } ->
+      encode_payload buf ~id 0x07 (fun buf ->
+          add_string buf name;
+          add_delta buf delta)
   | Stats -> encode_payload buf ~id 0x04 (fun _ -> ())
   | Info -> encode_payload buf ~id 0x05 (fun _ -> ())
   | Shutdown -> encode_payload buf ~id 0x06 (fun _ -> ()));
@@ -136,6 +178,13 @@ let encode_response ~id resp =
           add_u32 buf (String.length s);
           Buffer.add_string buf s)
   | Ok_r -> encode_payload buf ~id 0x85 (fun _ -> ())
+  | Update_r { n; m; fingerprint; rounds; bits } ->
+      encode_payload buf ~id 0x87 (fun buf ->
+          add_u32 buf n;
+          add_u32 buf m;
+          add_string buf fingerprint;
+          add_u32 buf rounds;
+          add_u32 buf bits)
   | Error_r { code; message } ->
       encode_payload buf ~id 0x86 (fun buf ->
           add_u8 buf (code_of_error code);
@@ -196,8 +245,36 @@ let finish c v =
     raise (Decode_error "trailing bytes after payload");
   v
 
+let get_version c =
+  let v = get_u8 c in
+  if v <> version then
+    raise (Decode_error (Printf.sprintf "protocol version %d, expected %d" v version))
+
+let get_delta c =
+  let dels = get_u32 c in
+  let ops = ref [] in
+  for _ = 1 to dels do
+    ops := Graph.Delta.Delete (get_u32 c) :: !ops
+  done;
+  let rws = get_u32 c in
+  for _ = 1 to rws do
+    let id = get_u32 c in
+    let w = get_f64 c in
+    ops := Graph.Delta.Reweight (id, w) :: !ops
+  done;
+  let ins = get_u32 c in
+  for _ = 1 to ins do
+    let u = get_u32 c in
+    let v = get_u32 c in
+    let w = get_f64 c in
+    ops := Graph.Delta.Insert { Graph.u; v; w } :: !ops
+  done;
+  try Graph.Delta.of_ops (List.rev !ops)
+  with Invalid_argument msg -> raise (Decode_error msg)
+
 let decode_request payload =
   let c = { data = payload; pos = 0 } in
+  get_version c;
   let op = get_u8 c in
   let id = get_u32 c in
   let req =
@@ -214,6 +291,10 @@ let decode_request payload =
         let t = get_u32 c in
         Resistance { name; eps; s; t }
     | 0x03 -> Flow { name = get_string c }
+    | 0x07 ->
+        let name = get_string c in
+        let delta = get_delta c in
+        Update { name; delta }
     | 0x04 -> Stats
     | 0x05 -> Info
     | 0x06 -> Shutdown
@@ -223,6 +304,7 @@ let decode_request payload =
 
 let decode_response payload =
   let c = { data = payload; pos = 0 } in
+  get_version c;
   let op = get_u8 c in
   let id = get_u32 c in
   let resp =
@@ -248,6 +330,13 @@ let decode_response payload =
         Flow_r { flow; value; cost; rounds; bits }
     | 0x84 -> Json_r (get_blob c)
     | 0x85 -> Ok_r
+    | 0x87 ->
+        let n = get_u32 c in
+        let m = get_u32 c in
+        let fingerprint = get_string c in
+        let rounds = get_u32 c in
+        let bits = get_u32 c in
+        Update_r { n; m; fingerprint; rounds; bits }
     | 0x86 ->
         let code = error_of_code (get_u8 c) in
         let message = get_string c in

@@ -1,11 +1,20 @@
 (** Wire protocol for [lbcc_serve]: length-prefixed binary frames.
 
     A frame is a 4-byte big-endian payload length followed by the payload:
-    one opcode byte, a 4-byte request id (echoed verbatim in the matching
-    response — responses may be reordered across coalescing bins), and the
-    opcode-specific body.  Floats travel as IEEE-754 bit patterns so vectors
-    round-trip bit-for-bit; the SERVE bench's identity claims rely on the
-    codec being lossless. *)
+    one protocol {!version} byte, one opcode byte, a 4-byte request id
+    (echoed verbatim in the matching response — responses may be reordered
+    across coalescing bins), and the opcode-specific body.  Floats travel
+    as IEEE-754 bit patterns so vectors round-trip bit-for-bit; the SERVE
+    bench's identity claims rely on the codec being lossless.
+
+    Version history: v1 had no version byte; v2 (current) prefixes every
+    payload with one and adds the {!request.Update} mutation opcode
+    (0x07) with its {!response.Update_r} reply (0x87).  A mismatched
+    version byte raises {!Decode_error} immediately, so mixed deployments
+    fail fast instead of misparsing a mutation. *)
+
+val version : int
+(** Protocol version stamped into (and required of) every payload. *)
 
 exception Decode_error of string
 (** Malformed payload (unknown opcode, truncated body, trailing bytes,
@@ -28,6 +37,11 @@ type request =
       (** Effective resistance [R_eff(s, t)] on fleet graph [name]. *)
   | Flow of { name : string }
       (** Theorem 1.1 min-cost max-flow on fleet network [name]. *)
+  | Update of { name : string; delta : Lbcc_graph.Graph.Delta.t }
+      (** Mutate fleet graph [name] by a normalized edge delta.  Admitted
+          through the same scheduler as solves, so mutations interleave
+          with coalesced batches deterministically; the reply reports the
+          post-update shape and the incremental re-preparation cost. *)
   | Stats  (** SLO snapshot as strict JSON ({!response.Json_r}). *)
   | Info  (** fleet roster (names, sizes, fingerprints) as strict JSON *)
   | Shutdown  (** graceful drain: answer everything admitted, then exit *)
@@ -50,6 +64,13 @@ type response =
     }
   | Json_r of string  (** strict JSON body ([Stats] / [Info] replies) *)
   | Ok_r
+  | Update_r of {
+      n : int;  (** vertex count after the update *)
+      m : int;  (** edge count after the update *)
+      fingerprint : string;  (** hex fingerprint of the mutated graph *)
+      rounds : int;  (** update-phase rounds charged (announce + re-sample) *)
+      bits : int;
+    }
   | Error_r of { code : error_code; message : string }
 
 val encode_request : id:int -> request -> Bytes.t

@@ -15,14 +15,48 @@ let mix_int64 h v =
 
 let mix_int h v = mix_int64 h (Int64.of_int v)
 
-let graph g =
-  let h = ref (mix_int (mix_int fnv_offset (Graph.n g)) (Graph.m g)) in
-  Array.iter
-    (fun (e : Graph.edge) ->
-      h := mix_int !h e.u;
-      h := mix_int !h e.v;
-      h := mix_int64 !h (Int64.bits_of_float e.w))
-    (Graph.edges g);
-  !h
+(* One FNV-1a chain per edge; the graph combines them by wrapping Int64
+   addition.  Addition commutes, so the combined term is independent of edge
+   order and — crucially — of the id compaction [Graph.apply] performs after
+   deletes: patching a fingerprint by a delta only needs the hashes of the
+   edges the delta names, O(|delta|) instead of O(m). *)
+let edge_term (e : Graph.edge) =
+  let lo = Stdlib.min e.u e.v and hi = Stdlib.max e.u e.v in
+  mix_int64 (mix_int (mix_int fnv_offset lo) hi) (Int64.bits_of_float e.w)
 
-let to_hex v = Printf.sprintf "%016Lx" v
+type t = { n : int; m : int; esum : int64 }
+
+let graph g =
+  let esum = ref 0L in
+  Array.iter (fun e -> esum := Int64.add !esum (edge_term e)) (Graph.edges g);
+  { n = Graph.n g; m = Graph.m g; esum = !esum }
+
+let hash t = mix_int64 (mix_int (mix_int fnv_offset t.n) t.m) t.esum
+let to_hex t = Printf.sprintf "%016Lx" (hash t)
+let equal a b = a.n = b.n && a.m = b.m && Int64.equal a.esum b.esum
+
+type delta_fp = { dm : int; dsum : int64 }
+
+let delta g d =
+  if Graph.Delta.max_id d >= Graph.m g then
+    invalid_arg "Fingerprint.delta: edge id out of range";
+  let dm = ref 0 and dsum = ref 0L in
+  let add e =
+    incr dm;
+    dsum := Int64.add !dsum (edge_term e)
+  in
+  let remove e =
+    decr dm;
+    dsum := Int64.sub !dsum (edge_term e)
+  in
+  Array.iter add (Graph.Delta.inserts d);
+  Array.iter (fun id -> remove (Graph.edge g id)) (Graph.Delta.deletes d);
+  Array.iter
+    (fun (id, w) ->
+      let e = Graph.edge g id in
+      remove e;
+      add { e with Graph.w })
+    (Graph.Delta.reweights d);
+  { dm = !dm; dsum = !dsum }
+
+let apply t dfp = { t with m = t.m + dfp.dm; esum = Int64.add t.esum dfp.dsum }

@@ -5,6 +5,7 @@ module Rounds = Lbcc_net.Rounds
 module Model = Lbcc_net.Model
 module Metrics = Lbcc_obs.Metrics
 module Solver = Lbcc_laplacian.Solver
+module Sparsify = Lbcc_sparsifier.Sparsify
 
 type query_result = {
   solution : Vec.t;
@@ -18,7 +19,12 @@ type t = {
   graph : Graph.t;
   mutable ctx : Ctx.t; (* re-pointed at the caller's ctx on cache hits *)
   solver : Solver.t;
-  fingerprint : int64;
+  sketch : Sparsify.sketch; (* incremental sparsifier state for [update] *)
+  fingerprint : Fingerprint.t;
+  key_seed : int; (* the seed the cache key was built with *)
+  t_opt : int option;
+  k_opt : int option;
+  generation : int; (* number of deltas patched into this handle *)
   acc : Rounds.t; (* cumulative: one prepare/* group, then query/* *)
   prepare_rounds : int;
   prepare_bits : int;
@@ -46,11 +52,27 @@ let create ?ctx ?seed ?t ?k graph =
   let rounds = Rounds.rounds acc in
   Metrics.observe ctx.Ctx.metrics "prepared.prepare_rounds"
     (float_of_int rounds);
+  let h = Solver.sparsifier solver in
   {
     graph;
     ctx;
     solver;
+    sketch =
+      {
+        Sparsify.base = graph;
+        sparsifier = h;
+        epsilon = 0.5;
+        generation = 0;
+        resampled = Graph.m h;
+        passed = 0;
+        last_rounds = rounds;
+        total_rounds = rounds;
+      };
     fingerprint = Fingerprint.graph graph;
+    key_seed = ctx.Ctx.seed;
+    t_opt = t;
+    k_opt = k;
+    generation = 0;
     acc;
     prepare_rounds = rounds;
     prepare_bits = Rounds.bits acc;
@@ -153,11 +175,16 @@ let default_capacity () =
 let shared = lazy (Cache.create ~capacity:(default_capacity ()) ())
 let shared_cache () = Lazy.force shared
 
-let cache_key ~seed ?t ?k g =
+let key_of_fingerprint ~seed ?t ?k fp =
   let opt = function Some v -> string_of_int v | None -> "-" in
-  Printf.sprintf "%s|seed=%d|t=%s|k=%s"
-    (Fingerprint.to_hex (Fingerprint.graph g))
-    seed (opt t) (opt k)
+  Printf.sprintf "%s|seed=%d|t=%s|k=%s" (Fingerprint.to_hex fp) seed (opt t)
+    (opt k)
+
+let cache_key ~seed ?t ?k g =
+  key_of_fingerprint ~seed ?t ?k (Fingerprint.graph g)
+
+let own_key t =
+  key_of_fingerprint ~seed:t.key_seed ?t:t.t_opt ?k:t.k_opt t.fingerprint
 
 let create_cached ?cache ?ctx ?seed ?t ?k graph =
   let cache = match cache with Some c -> c | None -> shared_cache () in
@@ -174,11 +201,80 @@ let create_cached ?cache ?ctx ?seed ?t ?k graph =
   else Metrics.inc ctx.Ctx.metrics "prepared.cache_miss";
   (handle, hit)
 
+(* Incremental updates --------------------------------------------------- *)
+
+(* Mirror a whole breakdown onto a caller's accountant as aggregate charges
+   with the handle's exact label paths (same convention as [mirror]). *)
+let mirror_breakdown accountant entries =
+  match accountant with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun (label, rounds, bits) -> Rounds.charge a ~bits ~label ~rounds)
+        entries
+
+let update ?accountant t delta =
+  let ctx = t.ctx in
+  let n = Graph.n t.graph in
+  (* O(|delta|): patch the fingerprint before touching any edge arrays — the
+     algebra guarantees it equals a from-scratch fingerprint of the new
+     graph, so the patched handle re-keys exactly where a rebuilt one would
+     land. *)
+  let fingerprint = Fingerprint.apply t.fingerprint (Fingerprint.delta t.graph delta) in
+  let acc = Rounds.create ~bandwidth:(Model.bandwidth ~n) in
+  Rounds.set_tracer acc ctx.Ctx.tracer;
+  Metrics.inc ctx.Ctx.metrics "prepared.update";
+  let prng = Prng.create ctx.Ctx.seed in
+  (* Charge only the incremental work under phase [update/*]: the delta
+     announcement plus re-sparsification of the hit neighborhoods, then the
+     (round-free, vertex-internal) factor + certify on the patched H. *)
+  let sketch = Sparsify.update ~accountant:acc ~prng t.sketch delta in
+  let solver =
+    Solver.preprocess ~accountant:acc ~phases:[ "update" ]
+      ~sparsifier:sketch.Sparsify.sparsifier ~prng
+      ~graph:sketch.Sparsify.base ()
+  in
+  let rounds = Rounds.rounds acc in
+  Metrics.observe ctx.Ctx.metrics "prepared.update_rounds" (float_of_int rounds);
+  mirror_breakdown accountant (zip3 acc);
+  {
+    graph = sketch.Sparsify.base;
+    ctx;
+    solver;
+    sketch;
+    fingerprint;
+    key_seed = t.key_seed;
+    t_opt = t.t_opt;
+    k_opt = t.k_opt;
+    generation = t.generation + 1;
+    acc;
+    prepare_rounds = rounds;
+    prepare_bits = Rounds.bits acc;
+    prepare_breakdown = zip3 acc;
+    queries = 0;
+    query_rounds = 0;
+  }
+
+let update_cached ?cache ?accountant t delta =
+  let cache = match cache with Some c -> c | None -> shared_cache () in
+  let old_key = own_key t in
+  let patched = update ?accountant t delta in
+  (* Patch-in-place: the old key can never serve the mutated graph again,
+     and the patched handle lands exactly where [create_cached] would look
+     for the new graph — a subsequent prepare of the same (graph, seed,
+     t, k) is a hit instead of a cold rebuild. *)
+  Cache.remove cache old_key;
+  Cache.add cache (own_key patched) patched;
+  Metrics.inc t.ctx.Ctx.metrics "prepared.cache_patch";
+  patched
+
 (* Introspection -------------------------------------------------------- *)
 
 let graph t = t.graph
 let solver t = t.solver
 let ctx t = t.ctx
+let sketch t = t.sketch
+let generation t = t.generation
 let fingerprint t = t.fingerprint
 let fingerprint_hex t = Fingerprint.to_hex t.fingerprint
 let preprocessing_rounds t = t.prepare_rounds

@@ -87,12 +87,43 @@ val shared_cache : unit -> t Cache.t
 (** The process-wide handle cache.  Capacity is read once from
     [LBCC_PREPARED_CACHE] (default 8; 0 disables caching). *)
 
+(** {2 Incremental updates} *)
+
+val update : ?accountant:Rounds.t -> t -> Graph.Delta.t -> t
+(** Patch the handle for the mutated graph [Graph.apply (graph t) delta]:
+    the fingerprint is patched in [O(|delta|)] (exactly equal to a
+    from-scratch fingerprint of the new graph), the sparsifier sketch is
+    updated incrementally ({!Lbcc_sparsifier.Sparsify.update} — only the
+    delta's neighborhoods are re-sampled), and the preconditioner is
+    refactored from the patched sketch.  The returned handle charges the
+    incremental work under phase [update/*] on a fresh accountant (mirrored
+    onto [accountant] when given) — for small deltas far fewer rounds than
+    {!create} pays — and starts with zero queries.  Deterministic in
+    [(t, delta)]: the handle's ctx seed drives all re-sampling.
+    @raise Invalid_argument if the delta is invalid for the handle's graph
+    or the mutated graph is disconnected. *)
+
+val update_cached :
+  ?cache:t Cache.t -> ?accountant:Rounds.t -> t -> Graph.Delta.t -> t
+(** {!update}, then re-key the cache in place: the entry under the old
+    (fingerprint, seed, t, k) key is removed and the patched handle is
+    inserted under the new graph's key — exactly where {!create_cached}
+    would look — so a hot handle survives the mutation instead of being
+    invalidated and rebuilt cold. *)
+
 (** {2 Introspection} *)
 
 val graph : t -> Graph.t
 val solver : t -> Lbcc_laplacian.Solver.t
 val ctx : t -> Ctx.t
-val fingerprint : t -> int64
+
+val sketch : t -> Lbcc_sparsifier.Sparsify.sketch
+(** The incremental sparsifier state {!update} maintains. *)
+
+val generation : t -> int
+(** Number of deltas patched into this handle (0 for a fresh {!create}). *)
+
+val fingerprint : t -> Fingerprint.t
 val fingerprint_hex : t -> string
 
 val preprocessing_rounds : t -> int

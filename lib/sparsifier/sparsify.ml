@@ -22,8 +22,22 @@ let default_t ?t_scale ~n ~epsilon () =
   let logn = float_of_int (Bits.ceil_log2 (Stdlib.max 2 n)) in
   Stdlib.max 1 (int_of_float (Float.ceil (t_scale *. logn *. logn /. (epsilon *. epsilon))))
 
+(* Delta-accumulated graphs are multigraphs (an insert may duplicate an
+   existing endpoint pair), and the spanner machinery requires simple
+   graphs.  Coalesce only when parallel edges are actually present, so the
+   static pipeline's behaviour on simple inputs stays bit-identical;
+   [edge_origin] then refers to the coalesced graph's edge ids. *)
+let has_parallel_edges g =
+  let seen = Hashtbl.create (2 * Graph.m g) in
+  Array.exists
+    (fun (e : Graph.edge) ->
+      let key = (Stdlib.min e.u e.v, Stdlib.max e.u e.v) in
+      Hashtbl.mem seen key || (Hashtbl.add seen key (); false))
+    (Graph.edges g)
+
 let run ?accountant ?k ?t ?t_scale ?iterations ~prng ~graph ~epsilon () =
   if epsilon <= 0.0 then invalid_arg "Sparsify.run: epsilon must be positive";
+  let graph = if has_parallel_edges graph then Graph.coalesce graph else graph in
   let n = Graph.n graph and m = Graph.m graph in
   if n = 0 then invalid_arg "Sparsify.run: empty graph";
   let acc =
@@ -147,6 +161,150 @@ let out_degrees result =
   let deg = Array.make (Graph.n result.sparsifier) 0 in
   Array.iter (fun (from_, _) -> deg.(from_) <- deg.(from_) + 1) result.orientation;
   deg
+
+(* Incremental sketches ------------------------------------------------- *)
+
+type sketch = {
+  base : Graph.t;
+  sparsifier : Graph.t;
+  epsilon : float;
+  generation : int;
+  resampled : int;
+  passed : int;
+  last_rounds : int;
+  total_rounds : int;
+}
+
+let sketch ?accountant ?k ?t ?t_scale ~prng ~graph ~epsilon () =
+  let r = run ?accountant ?k ?t ?t_scale ~prng ~graph ~epsilon () in
+  {
+    base = graph;
+    sparsifier = r.sparsifier;
+    epsilon;
+    generation = 0;
+    resampled = Graph.m r.sparsifier;
+    passed = 0;
+    last_rounds = r.rounds;
+    total_rounds = r.rounds;
+  }
+
+let update ?accountant ?k ?t ?t_scale ~prng sk delta =
+  let n = Graph.n sk.base in
+  if Graph.Delta.is_empty delta then
+    {
+      sk with
+      generation = sk.generation + 1;
+      resampled = 0;
+      passed = Graph.m sk.sparsifier;
+      last_rounds = 0;
+    }
+  else begin
+    let acc =
+      match accountant with
+      | Some a -> a
+      | None -> Rounds.create ~bandwidth:(Model.bandwidth ~n)
+    in
+    let start = Rounds.checkpoint acc in
+    Rounds.with_phase acc "update" @@ fun () ->
+    (* The delta is known only to the endpoints that own its edges; announce
+       it first so every vertex can re-run the hit-region sampling locally.
+       Each op is broadcast by the lower endpoint of the edge it names, one
+       op per superstep — lockstep cost is the busiest announcer. *)
+    let touched = Graph.delta_touched sk.base delta in
+    let ops_per_vertex = Array.make n 0 in
+    let announce u v =
+      let lower = Stdlib.min u v in
+      ops_per_vertex.(lower) <- ops_per_vertex.(lower) + 1
+    in
+    Array.iter
+      (fun (e : Graph.edge) -> announce e.u e.v)
+      (Graph.Delta.inserts delta);
+    Array.iter
+      (fun id ->
+        let e = Graph.edge sk.base id in
+        announce e.u e.v)
+      (Graph.Delta.deletes delta);
+    Array.iter
+      (fun (id, _) ->
+        let e = Graph.edge sk.base id in
+        announce e.u e.v)
+      (Graph.Delta.reweights delta);
+    let max_ops = Array.fold_left Stdlib.max 0 ops_per_vertex in
+    let msg_bits =
+      Payload.size
+        [
+          Vertex_id n;
+          Vertex_id n;
+          Weight (Float.max 1.0 (Graph.max_weight sk.base));
+        ]
+    in
+    Rounds.with_phase acc "delta" (fun () ->
+        for _ = 1 to max_ops do
+          Rounds.charge_broadcast acc ~label:"announce" ~bits:msg_bits
+        done);
+    let base' = Graph.apply sk.base delta in
+    (* Split by the delta's vertex neighborhoods: sketch edges with both
+       endpoints untouched pass through verbatim (the old sketch still
+       approximates that region); everything incident to a touched vertex is
+       re-sparsified from the exact accumulated edges, so deletes and
+       reweights need no per-edge origin bookkeeping — the whole hit region
+       is rebuilt from ground truth.  Errors on the pass-through part
+       compose multiplicatively across generations (the KPPS
+       resparsification regime); quality is certified a posteriori against
+       [base]. *)
+    let passed = ref [] and n_passed = ref 0 in
+    Array.iter
+      (fun (e : Graph.edge) ->
+        if not (touched.(e.u) || touched.(e.v)) then begin
+          passed := e :: !passed;
+          incr n_passed
+        end)
+      (Graph.edges sk.sparsifier);
+    let hit = ref [] and n_hit = ref 0 in
+    Array.iter
+      (fun (e : Graph.edge) ->
+        if touched.(e.u) || touched.(e.v) then begin
+          hit := e :: !hit;
+          incr n_hit
+        end)
+      (Graph.edges base');
+    let resampled_edges =
+      if !n_hit = 0 then [||]
+      else
+        let pool = Graph.coalesce (Graph.create ~n (List.rev !hit)) in
+        let r =
+          run ~accountant:acc ?k ?t ?t_scale ~prng ~graph:pool
+            ~epsilon:sk.epsilon ()
+        in
+        Graph.edges r.sparsifier
+    in
+    let sparsifier =
+      Graph.of_edge_array ~n
+        (Array.append (Array.of_list (List.rev !passed)) resampled_edges)
+    in
+    (* Safety valve: a sketch that disconnects a still-connected base is a
+       certification failure waiting to happen (and would break downstream
+       preconditioner factorization), so rebuild from ground truth.  The
+       check and the fallback are both deterministic. *)
+    let sparsifier =
+      if Graph.is_connected base' && not (Graph.is_connected sparsifier) then
+        (run ~accountant:acc ?k ?t ?t_scale ~prng ~graph:base'
+           ~epsilon:sk.epsilon ())
+          .sparsifier
+      else sparsifier
+    in
+    let rounds = Rounds.checkpoint acc - start in
+    {
+      base = base';
+      sparsifier;
+      epsilon = sk.epsilon;
+      generation = sk.generation + 1;
+      resampled = !n_hit;
+      passed = !n_passed;
+      last_rounds = rounds;
+      total_rounds = sk.total_rounds + rounds;
+    }
+  end
 
 let resparsify ?accountant ?k ?t ?t_scale ~prng ~graphs ~epsilon () =
   match graphs with

@@ -44,10 +44,68 @@ val run :
   epsilon:float ->
   unit ->
   result
-(** @raise Invalid_argument on non-positive [epsilon] or an empty graph. *)
+(** A multigraph input (e.g. a {!Graph.Delta}-accumulated graph where an
+    insert duplicated an endpoint pair) is coalesced first; [edge_origin]
+    then refers to the coalesced graph's edge ids.  Simple inputs are
+    untouched, bit-identically.
+    @raise Invalid_argument on non-positive [epsilon] or an empty graph. *)
 
 val out_degrees : result -> int array
 (** Out-degree profile of the orientation, indexed by vertex. *)
+
+(** {2 Incremental sketches}
+
+    A {!sketch} maintains a spectral sparsifier of a mutating graph.
+    {!update} applies a {!Graph.Delta}: sketch edges whose endpoints are
+    untouched by the delta pass through verbatim, while the delta's vertex
+    neighborhoods — the bundles the changed edges lived in — are
+    re-sparsified from the exact accumulated edges.  For a small delta the
+    hit region is [O(|delta| * avg_degree)] edges, so the update costs far
+    fewer broadcast rounds than re-running {!run} on the whole graph.
+    Pass-through errors compose multiplicatively across generations (the
+    Kyng–Pachocki–Peng–Sachdeva resparsification regime behind Thm 3.4);
+    callers certify quality a posteriori with {!Certify} against
+    [sketch.base], exactly as the static pipeline does. *)
+
+type sketch = {
+  base : Graph.t;  (** the accumulated (post-delta) graph *)
+  sparsifier : Graph.t;  (** current spectral sketch of [base] *)
+  epsilon : float;  (** target quality per (re-)sampling step *)
+  generation : int;  (** number of updates applied *)
+  resampled : int;  (** accumulated edges fed to the last re-sampling *)
+  passed : int;  (** sketch edges passed through untouched last update *)
+  last_rounds : int;  (** rounds charged by the last build/update *)
+  total_rounds : int;  (** rounds charged across the sketch's life *)
+}
+
+val sketch :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?k:int ->
+  ?t:int ->
+  ?t_scale:float ->
+  prng:Prng.t ->
+  graph:Graph.t ->
+  epsilon:float ->
+  unit ->
+  sketch
+(** Build the initial sketch with {!run}. *)
+
+val update :
+  ?accountant:Lbcc_net.Rounds.t ->
+  ?k:int ->
+  ?t:int ->
+  ?t_scale:float ->
+  prng:Prng.t ->
+  sketch ->
+  Graph.Delta.t ->
+  sketch
+(** Apply one delta.  Charges, under phase [update]: the delta announcement
+    broadcasts ([update/delta/announce], one op per superstep from the
+    busiest announcing vertex) and a {!run} over the coalesced hit region
+    ([update/sparsify/*]).  A pure function of [(sketch, delta, prng)] —
+    bit-identical at any domain count.
+    @raise Invalid_argument if the delta references an edge id [>= m] of
+    [sketch.base]. *)
 
 val resparsify :
   ?accountant:Lbcc_net.Rounds.t ->

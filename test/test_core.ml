@@ -10,7 +10,7 @@ let test_version () =
 let test_sparsify_report_structure () =
   let prng = Prng.create 1 in
   let g = Gen.erdos_renyi_connected prng ~n:24 ~p:0.4 ~w_max:4 in
-  let r = Lbcc.sparsify ~seed:2 ~epsilon:0.5 ~t:3 g in
+  let r = Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed:2 ()) ~epsilon:0.5 ~t:3 g in
   Alcotest.(check bool) "bandwidth positive" true (r.Lbcc.rounds.Lbcc.bandwidth > 0);
   Alcotest.(check bool) "breakdown nonempty" true (r.Lbcc.rounds.Lbcc.breakdown <> []);
   let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 r.Lbcc.rounds.Lbcc.breakdown in
@@ -21,11 +21,11 @@ let test_sparsify_report_structure () =
 let test_sparsify_deterministic_by_seed () =
   let prng = Prng.create 3 in
   let g = Gen.erdos_renyi_connected prng ~n:24 ~p:0.4 ~w_max:4 in
-  let r1 = Lbcc.sparsify ~seed:7 ~t:2 g in
-  let r2 = Lbcc.sparsify ~seed:7 ~t:2 g in
+  let r1 = Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed:7 ()) ~t:2 g in
+  let r2 = Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed:7 ()) ~t:2 g in
   Alcotest.(check bool) "same output for same seed" true
     (Graph.equal_structure r1.Lbcc.sparsifier r2.Lbcc.sparsifier);
-  let r3 = Lbcc.sparsify ~seed:8 ~t:2 g in
+  let r3 = Lbcc.sparsify ~ctx:(Lbcc.Ctx.make ~seed:8 ()) ~t:2 g in
   (* Different seeds will almost surely differ on a random graph. *)
   Alcotest.(check bool) "different seed differs" true
     (not (Graph.equal_structure r1.Lbcc.sparsifier r3.Lbcc.sparsifier)
@@ -35,7 +35,7 @@ let test_solve_laplacian_on_grid () =
   let prng = Prng.create 4 in
   let g = Gen.grid prng ~rows:5 ~cols:5 ~w_max:3 in
   let b = Vec.mean_center (Vec.init 25 (fun i -> float_of_int (i mod 3))) in
-  let r = Lbcc.solve_laplacian ~seed:5 ~eps:1e-10 g ~b in
+  let r = Lbcc.solve_laplacian ~ctx:(Lbcc.Ctx.make ~seed:5 ()) ~eps:1e-10 g ~b in
   Alcotest.(check bool) "residual" true (r.Lbcc.residual < 1e-8);
   Alcotest.(check bool) "round split" true
     (r.Lbcc.preprocessing_rounds > r.Lbcc.solve_rounds)
@@ -60,8 +60,8 @@ let test_effective_resistance_parallel_edges_law () =
 let test_effective_resistance_symmetric () =
   let prng = Prng.create 6 in
   let g = Gen.erdos_renyi_connected prng ~n:20 ~p:0.3 ~w_max:4 in
-  let r1 = Lbcc.effective_resistance ~seed:9 g ~s:2 ~t:11 in
-  let r2 = Lbcc.effective_resistance ~seed:9 g ~s:11 ~t:2 in
+  let r1 = Lbcc.effective_resistance ~ctx:(Lbcc.Ctx.make ~seed:9 ()) g ~s:2 ~t:11 in
+  let r2 = Lbcc.effective_resistance ~ctx:(Lbcc.Ctx.make ~seed:9 ()) g ~s:11 ~t:2 in
   Alcotest.(check (float 1e-9)) "symmetric" r1.Lbcc.resistance
     r2.Lbcc.resistance;
   Alcotest.(check (float 1e-12)) "zero on self" 0.0
@@ -72,7 +72,7 @@ let test_min_cost_max_flow_report () =
     Lbcc_flow.Network.random (Prng.create 7) ~n:7 ~density:0.3 ~max_capacity:4
       ~max_cost:3
   in
-  let r = Lbcc.min_cost_max_flow ~seed:10 net in
+  let r = Lbcc.min_cost_max_flow ~ctx:(Lbcc.Ctx.make ~seed:10 ()) net in
   Alcotest.(check bool) "exact" true r.Lbcc.exact;
   Alcotest.(check bool) "rounds tracked" true (r.Lbcc.rounds.Lbcc.total > 0);
   Alcotest.(check bool) "flow validates" true

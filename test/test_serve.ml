@@ -116,6 +116,18 @@ let test_proto_request_roundtrip () =
       Proto.Solve { name = "g0"; eps = 1e-8; b };
       Proto.Resistance { name = "grid-1"; eps = 1e-10; s = 0; t = 17 };
       Proto.Flow { name = "f0" };
+      Proto.Update
+        {
+          name = "g0";
+          delta =
+            Graph.Delta.of_ops
+              [
+                Graph.Delta.Insert { Graph.u = 0; v = 5; w = 2.0 };
+                Graph.Delta.Delete 3;
+                Graph.Delta.Reweight (7, 0.25);
+              ];
+        };
+      Proto.Update { name = "empty-delta"; delta = Graph.Delta.of_ops [] };
       Proto.Stats;
       Proto.Info;
       Proto.Shutdown;
@@ -142,6 +154,8 @@ let test_proto_response_roundtrip () =
         };
       Proto.Resistance_r { resistance = 0.07812500000000001; rounds = 150; bits = 900 };
       Proto.Flow_r { flow = [| 1.0; 0.0; 2.0 |]; value = 3; cost = 11; rounds = 44; bits = 220 };
+      Proto.Update_r
+        { n = 24; m = 71; fingerprint = "00deadbeef00c0de"; rounds = 210; bits = 4410 };
       Proto.Json_r "{\"schema\":\"lbcc-serve-stats/1\"}";
       Proto.Ok_r;
       Proto.Error_r { code = Proto.Overloaded; message = "admission queue full" };
@@ -167,9 +181,17 @@ let test_proto_float_bits_exact () =
   | _ -> Alcotest.fail "wrong request decoded"
 
 let test_proto_malformed () =
+  let bad_opcode = Bytes.make 6 '\x7f' in
+  Bytes.set bad_opcode 0 (Char.chr Proto.version);
   Alcotest.check_raises "unknown opcode"
     (Proto.Decode_error "unknown request opcode 0x7f") (fun () ->
-      ignore (Proto.decode_request (Bytes.make 5 '\x7f') : int * Proto.request));
+      ignore (Proto.decode_request bad_opcode : int * Proto.request));
+  (* A v1 frame (or any other version) is refused before opcode dispatch. *)
+  Alcotest.check_raises "version mismatch"
+    (Proto.Decode_error
+       (Printf.sprintf "protocol version 1, expected %d" Proto.version))
+    (fun () ->
+      ignore (Proto.decode_request (Bytes.make 6 '\x01') : int * Proto.request));
   let frame = Proto.encode_request ~id:1 (Proto.Flow { name = "f0" }) in
   let payload = Bytes.sub frame 4 (Bytes.length frame - 4) in
   let padded = Bytes.cat payload (Bytes.make 1 '\x00') in
@@ -407,6 +429,98 @@ let test_daemon_bad_requests () =
     outs;
   Alcotest.(check int) "nothing admitted" 0 (Daemon.pending d)
 
+(* Updates interleave with solves through the same admit trace: the daemon
+   applies the delta, patches (or recomputes) the fingerprint, and later
+   solves run against the mutated graph.  Updates mutate fleet state, so
+   each run builds a private fleet rather than touching [small_fleet]. *)
+let update_fleet () =
+  Fleet.build
+    { Fleet.default_config with Fleet.graphs = 2; vertices = 24; networks = 1 }
+
+let test_daemon_update () =
+  let run_trace domains =
+    Pool.set_default_domains domains;
+    let fleet = update_fleet () in
+    let d = Daemon.create Daemon.default_config fleet in
+    let e = List.hd fleet.Fleet.entries in
+    let g0 = e.Fleet.graph in
+    let delta =
+      Graph.Delta.of_ops
+        [
+          Graph.Delta.Insert { Graph.u = 0; v = Graph.n g0 - 1; w = 3.0 };
+          Graph.Delta.Reweight (0, 2.5);
+        ]
+    in
+    Daemon.handle d ~client:0 ~id:0 (Proto.Update { name = e.Fleet.name; delta });
+    Daemon.drain d;
+    let upd = decode_outputs d in
+    Daemon.handle d ~client:0 ~id:1 (solve_req fleet ~graph:0 ~op_seed:9);
+    Daemon.drain d;
+    let solved = decode_outputs d in
+    (upd, solved, Graph.apply g0 delta, fleet)
+  in
+  let upd, solved, g', fleet = run_trace 1 in
+  (match upd with
+  | [ (0, Proto.Update_r { n; m; fingerprint; _ }) ] ->
+      Alcotest.(check int) "n unchanged" (Graph.n g') n;
+      Alcotest.(check int) "one edge added" (Graph.m g') m;
+      Alcotest.(check string) "fingerprint matches recompute"
+        (Lbcc_service.Fingerprint.to_hex (Lbcc_service.Fingerprint.graph g'))
+        fingerprint
+  | _ -> Alcotest.fail "expected a single Update_r");
+  (* the fleet entry now holds the mutated graph *)
+  let e = List.hd fleet.Fleet.entries in
+  Alcotest.(check int) "fleet graph mutated" (Graph.m g') (Graph.m e.Fleet.graph);
+  (match solved with
+  | [ (1, Proto.Solution { residual; _ }) ] ->
+      Alcotest.(check bool) "solve on mutated graph converges" true
+        (Float.abs residual < 1e-6)
+  | _ -> Alcotest.fail "expected a Solution on the mutated graph");
+  (* Same trace at 2 and 4 domains: the full response byte stream is
+     bit-identical — update ordering is a pure function of the admit trace. *)
+  let render (upd, solved, _, _) =
+    String.concat "|"
+      (List.map
+         (fun (id, r) -> Bytes.to_string (Proto.encode_response ~id r))
+         (upd @ solved))
+  in
+  let r1 = render (upd, solved, g', fleet) in
+  let r2 = render (run_trace 2) in
+  let r4 = render (run_trace 4) in
+  Pool.set_default_domains 1;
+  Alcotest.(check string) "1 vs 2 domains identical" r1 r2;
+  Alcotest.(check string) "1 vs 4 domains identical" r1 r4
+
+let test_daemon_update_bad () =
+  let fleet = update_fleet () in
+  let d = Daemon.create Daemon.default_config fleet in
+  let e = List.hd fleet.Fleet.entries in
+  let m = Graph.m e.Fleet.graph in
+  Daemon.handle d ~client:0 ~id:0
+    (Proto.Update
+       { name = "nope"; delta = Graph.Delta.of_ops [ Graph.Delta.Delete 0 ] });
+  Daemon.handle d ~client:0 ~id:1
+    (Proto.Update
+       { name = e.Fleet.name; delta = Graph.Delta.of_ops [ Graph.Delta.Delete m ] });
+  Daemon.handle d ~client:0 ~id:2
+    (Proto.Update
+       {
+         name = e.Fleet.name;
+         delta =
+           Graph.Delta.of_ops
+             [ Graph.Delta.Insert { Graph.u = 0; v = Graph.n e.Fleet.graph; w = 1.0 } ];
+       });
+  let outs = decode_outputs d in
+  Alcotest.(check int) "three immediate rejections" 3 (List.length outs);
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Proto.Error_r { code = Proto.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "expected Bad_request")
+    outs;
+  Alcotest.(check int) "nothing admitted" 0 (Daemon.pending d);
+  Alcotest.(check int) "fleet untouched" m (Graph.m e.Fleet.graph)
+
 (* The scheduler trace fully determines batch composition, responses and
    accounting — at every worker-pool size.  This is the daemon-level
    replayability contract: run the same request trace at 1/2/4 domains and
@@ -599,6 +713,9 @@ let suites =
         Alcotest.test_case "rejects over-budget tail" `Quick
           test_daemon_rejects_over_budget_tail;
         Alcotest.test_case "bad requests" `Quick test_daemon_bad_requests;
+        Alcotest.test_case "applies updates deterministically" `Quick
+          test_daemon_update;
+        Alcotest.test_case "rejects bad updates" `Quick test_daemon_update_bad;
         Alcotest.test_case "deterministic across domains" `Slow
           test_daemon_deterministic_across_domains;
         Alcotest.test_case "matches direct solves" `Slow test_daemon_matches_direct;

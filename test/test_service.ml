@@ -197,8 +197,8 @@ let test_front_door_cache_effect () =
   (* A graph no other test uses, so the first call is a shared-cache miss. *)
   let g = test_graph ~seed:20230 ~n:26 () in
   let b = List.hd (rhs_batch ~seed:7 ~nv:(Graph.n g) 1) in
-  let r1 = Lbcc.solve_laplacian ~seed:31 g ~b in
-  let r2 = Lbcc.solve_laplacian ~seed:31 g ~b in
+  let r1 = Lbcc.solve_laplacian ~ctx:(Lbcc.Ctx.make ~seed:31 ()) g ~b in
+  let r2 = Lbcc.solve_laplacian ~ctx:(Lbcc.Ctx.make ~seed:31 ()) g ~b in
   Alcotest.(check bool) "same solution bits" true
     (vec_bits r1.Lbcc.solution = vec_bits r2.Lbcc.solution);
   Alcotest.(check int) "preprocessing_rounds stable"
@@ -216,7 +216,7 @@ let test_front_door_cache_effect () =
 
 let test_effective_resistance_reports_rounds () =
   let g = test_graph ~seed:20231 ~n:22 () in
-  let r = Lbcc.effective_resistance ~seed:17 g ~s:1 ~t:9 in
+  let r = Lbcc.effective_resistance ~ctx:(Lbcc.Ctx.make ~seed:17 ()) g ~s:1 ~t:9 in
   Alcotest.(check bool) "resistance positive" true (r.Lbcc.resistance > 0.0);
   Alcotest.(check bool) "query rounds reported" true (r.Lbcc.query_rounds > 0);
   Alcotest.(check bool) "preprocessing reported" true
@@ -229,7 +229,7 @@ let test_mcmf_single_prepare_phase () =
     Lbcc_flow.Network.random (Prng.create 7) ~n:6 ~density:0.4 ~max_capacity:3
       ~max_cost:2
   in
-  let r = Lbcc.min_cost_max_flow ~seed:3 net in
+  let r = Lbcc.min_cost_max_flow ~ctx:(Lbcc.Ctx.make ~seed:3 ()) net in
   let prepare_labels, query_labels =
     List.partition
       (fun (l, _) ->
