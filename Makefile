@@ -8,7 +8,7 @@ SERVE := ./_build/default/bin/lbcc_serve.exe
 DUNE_PROFILE := $(if $(LBCC_DEV),dev,strict)
 DUNE := dune build --profile $(DUNE_PROFILE)
 
-.PHONY: all build test lint smoke bench-smoke perf fingerprints scale-smoke serve-smoke update-smoke doc ci clean
+.PHONY: all build test lint lint-typed smoke bench-smoke perf fingerprints scale-smoke serve-smoke update-smoke doc ci clean
 
 all: build
 
@@ -24,6 +24,16 @@ test:
 # uses — warning.
 lint: build
 	$(LINT) --strict --out lint.json lib bin bench examples
+
+# Typed tier on top (DESIGN.md §13): interprocedural determinism taint,
+# parallel-region race detection and phase-accounting flow from the .cmt
+# files the build just produced.  Writes both the lbcc-lint/1 report and
+# a SARIF 2.1.0 report (CI uploads both as artifacts).  A baseline can
+# gate only new findings: make lint-typed LINT_BASELINE=lint-baseline.json
+LINT_BASELINE_FLAG := $(if $(LINT_BASELINE),--baseline $(LINT_BASELINE),)
+lint-typed: build
+	$(LINT) --strict --typed --out lint.json --sarif lint.sarif \
+	  $(LINT_BASELINE_FLAG) lib bin bench examples
 
 # Fault-injection smoke run: the reliable-broadcast layer must reproduce the
 # lossless outputs under 20% drop + an injected crash, and the raw engine run
@@ -124,7 +134,7 @@ doc:
 	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
-ci: build test lint smoke serve-smoke update-smoke
+ci: build test lint lint-typed smoke serve-smoke update-smoke
 
 clean:
 	dune clean

@@ -1,21 +1,35 @@
 (* lbcc-lint — static analysis enforcing the determinism and round-accounting
-   discipline of the reproduction (see DESIGN.md §8 for the rule rationale).
+   discipline of the reproduction (see DESIGN.md §8/§13 for the rule
+   rationale).
 
-     lbcc_lint [--json] [--out FILE] [--root DIR] [--strict] [--list-rules]
-               PATH...
+     lbcc_lint [--json] [--out FILE] [--sarif FILE] [--root DIR] [--strict]
+               [--typed] [--baseline FILE | --diff-base FILE]
+               [--write-baseline FILE] [--list-rules] PATH...
 
    PATHs are files or directories, relative to --root (default: the current
    directory); rule scoping keys off those relative paths, so run it from
    the repository root (or point --root there).
 
+   --typed layers the cmt-based interprocedural passes (determinism taint,
+   parallel-region races, phase-accounting flow) on top of the untyped
+   rules; it needs `dune build` to have run first.  --baseline subtracts a
+   saved report so only NEW violations fail; --write-baseline saves the
+   current findings as that report.
+
    Exit codes: 0 clean; 1 violations found (errors, plus warnings under
-   --strict); 2 usage or I/O error. *)
+   --strict); 2 usage, I/O error, or --typed without build artifacts. *)
 
 let usage () =
   prerr_endline
-    "usage: lbcc_lint [--json] [--out FILE] [--root DIR] [--strict] \
+    "usage: lbcc_lint [--json] [--out FILE] [--sarif FILE] [--root DIR] \
+     [--strict] [--typed] [--baseline FILE] [--write-baseline FILE] \
      [--list-rules] PATH...\n\
      --json prints the lbcc-lint/1 report to stdout (or to --out FILE);\n\
+     --sarif FILE additionally writes a SARIF 2.1.0 report;\n\
+     --typed runs the cmt-based interprocedural passes (build first);\n\
+     --baseline FILE (alias --diff-base) fails only on violations not in \
+     FILE;\n\
+     --write-baseline FILE saves the current findings as a baseline;\n\
      --strict makes warnings fail the run; --list-rules documents the rules.";
   exit 2
 
@@ -28,9 +42,16 @@ let list_rules () =
     Lint_rules.rules;
   exit 0
 
+let write_file file contents =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let () =
   let json = ref false and out = ref None and root = ref "." in
-  let strict = ref false and rev_paths = ref [] in
+  let strict = ref false and typed = ref false and rev_paths = ref [] in
+  let sarif = ref None and baseline = ref None and write_baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -39,13 +60,26 @@ let () =
     | "--out" :: file :: rest ->
         out := Some file;
         parse rest
-    | [ "--out" ] -> usage ()
+    | "--sarif" :: file :: rest ->
+        sarif := Some file;
+        parse rest
+    | ("--baseline" | "--diff-base") :: file :: rest ->
+        baseline := Some file;
+        parse rest
+    | "--write-baseline" :: file :: rest ->
+        write_baseline := Some file;
+        parse rest
     | "--root" :: dir :: rest ->
         root := dir;
         parse rest
-    | [ "--root" ] -> usage ()
+    | [ ("--out" | "--sarif" | "--baseline" | "--diff-base"
+        | "--write-baseline" | "--root") ] ->
+        usage ()
     | "--strict" :: rest ->
         strict := true;
+        parse rest
+    | "--typed" :: rest ->
+        typed := true;
         parse rest
     | "--list-rules" :: _ -> list_rules ()
     | ("--help" | "-h") :: _ -> usage ()
@@ -57,25 +91,68 @@ let () =
   let json = !json and out = !out and root = !root and strict = !strict in
   let paths = List.rev !rev_paths in
   if paths = [] then usage ();
-  match Lint_driver.run ~root paths with
+  let run () =
+    if !typed then Lint_driver.run_typed ~root paths
+    else Lint_driver.run ~root paths
+  in
+  match run () with
   | exception Sys_error msg ->
       Printf.eprintf "lbcc_lint: %s\n" msg;
       exit 2
+  | exception Lint_driver.Typed_unavailable msg ->
+      Printf.eprintf "lbcc_lint: %s\n" msg;
+      exit 2
   | result ->
-      let report = Lbcc_obs.Json.to_string ~pretty:true (Lint_driver.to_json result) in
-      (match out with
-      | Some file ->
-          let oc = open_out file in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () ->
-              output_string oc report;
-              output_char oc '\n')
-      | None -> ());
-      if json && out = None then print_endline report
-      else Lint_driver.render_text Format.std_formatter result;
-      let failing =
-        Lint_driver.errors result
-        + if strict then Lint_driver.warnings result else 0
+      let report =
+        Lbcc_obs.Json.to_string ~pretty:true (Lint_driver.to_json result)
       in
-      exit (if failing > 0 then 1 else 0)
+      (match out with
+      | Some file -> write_file file (report ^ "\n")
+      | None -> ());
+      (match !write_baseline with
+      | Some file -> write_file file (report ^ "\n")
+      | None -> ());
+      (match !sarif with
+      | Some file -> write_file file (Lint_sarif.to_string result.Lint_driver.diags)
+      | None -> ());
+      (* The gating set: everything, minus the baseline if one was given. *)
+      let gated =
+        match !baseline with
+        | None -> Ok result
+        | Some file -> (
+            match Lint_baseline.load file with
+            | Error msg -> Error msg
+            | Ok keys ->
+                Ok
+                  {
+                    result with
+                    Lint_driver.diags =
+                      Lint_baseline.filter ~baseline:keys
+                        result.Lint_driver.diags;
+                  })
+      in
+      (match gated with
+      | Error msg ->
+          Printf.eprintf "lbcc_lint: %s\n" msg;
+          exit 2
+      | Ok gated ->
+          if json && out = None then print_endline report
+          else begin
+            Lint_driver.render_text Format.std_formatter gated;
+            match !baseline with
+            | Some _ ->
+                let suppressed =
+                  List.length result.Lint_driver.diags
+                  - List.length gated.Lint_driver.diags
+                in
+                if suppressed > 0 then
+                  Format.printf "(%d baseline finding%s suppressed)@."
+                    suppressed
+                    (if suppressed = 1 then "" else "s")
+            | None -> ()
+          end;
+          let failing =
+            Lint_driver.errors gated
+            + if strict then Lint_driver.warnings gated else 0
+          in
+          exit (if failing > 0 then 1 else 0))

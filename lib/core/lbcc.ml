@@ -55,6 +55,9 @@ let reliability_surcharge acc reliability =
     | Model.Byzantine_safe -> (5, "byz-echo")
   in
   if extra > 0 then
+    (* Deliberately phase-free: the surcharge lands under the tier label so
+     reports stay comparable across tiers (comment above). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Rounds.charge acc ~label ~rounds:(extra * Rounds.rounds acc)
 
 let observe_run ?metrics ~op acc =
@@ -111,6 +114,9 @@ type laplacian_result = {
    skipped on cache hits, where preparation was paid by an earlier call. *)
 let mirror_prepare acc p =
   List.iter
+    (* Replays the handle's label paths verbatim; a phase wrapper here would
+       double-prefix them. *)
+    (* lbcc-lint: allow typ-phase-flow *)
     (fun (label, rounds, bits) -> Rounds.charge acc ~bits ~label ~rounds)
     (Prepared.prepare_breakdown p)
 

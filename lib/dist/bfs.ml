@@ -66,6 +66,9 @@ let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~n ~source in
   let states, stats =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Engine.run ?accountant ?faults ~tamper ~codec:Packed.int_codec ~label:"bfs"
       ~model ~graph
       ~size_bits:(fun d -> Bits.int_bits d)
@@ -80,6 +83,9 @@ let run_byzantine ?accountant ?faults ?retries ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~n ~source in
   let r =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"bfs" ~model
       ~graph
       ~size_bits:(fun d -> Bits.int_bits d)
@@ -102,6 +108,9 @@ let run_reliable ?accountant ?faults ?patience
       let n = Graph.n graph in
       let init, step = program ~n ~source in
       let r =
+        (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+        (* lbcc-lint: allow typ-phase-flow *)
         Reliable.run ?accountant ?faults ?patience ~label:"bfs" ~model ~graph
           ~size_bits:(fun d -> Bits.int_bits d)
           ~init ~step

@@ -78,6 +78,9 @@ let run ?accountant ?faults ~model ~graph () =
   let n = check_input ~model ~graph in
   let init, step = program ~n ~topology:model.Model.topology in
   let states, stats =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Engine.run ?accountant ?faults ~tamper ~codec:Packed.int_codec
       ~label:"leader" ~model ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
@@ -92,6 +95,9 @@ let run_byzantine ?accountant ?faults ?retries ~model ~graph () =
   let n = check_input ~model ~graph in
   let init, step = program ~n ~topology:model.Model.topology in
   let r =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"leader" ~model
       ~graph
       ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)
@@ -114,6 +120,9 @@ let run_reliable ?accountant ?faults ?patience
       let n = check_input ~model ~graph in
       let init, step = program ~n ~topology:model.Model.topology in
       let r =
+        (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+        (* lbcc-lint: allow typ-phase-flow *)
         Reliable.run ?accountant ?faults ?patience ~label:"leader" ~model
           ~graph
           ~size_bits:(fun _ -> Lbcc_util.Bits.id_bits ~n)

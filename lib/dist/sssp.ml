@@ -85,6 +85,9 @@ let run ?accountant ?faults ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~graph ~source in
   let states, stats =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Engine.run ?accountant ?faults ~tamper ~codec:Packed.float_codec
       ~label:"sssp" ~model ~graph
       ~size_bits:(fun d -> Payload.weight_bits d)
@@ -99,6 +102,9 @@ let run_byzantine ?accountant ?faults ?retries ~model ~graph ~source () =
   let n = Graph.n graph in
   let init, step = program ~graph ~source in
   let r =
+    (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+    (* lbcc-lint: allow typ-phase-flow *)
     Byzantine.run ?accountant ?faults ?retries ~tamper ~label:"sssp" ~model
       ~graph
       ~size_bits:(fun d -> Payload.weight_bits d)
@@ -121,6 +127,9 @@ let run_reliable ?accountant ?faults ?patience
       let n = Graph.n graph in
       let init, step = program ~graph ~source in
       let r =
+        (* Charges land under ~label at the caller's phase scope: the runner is
+       the public API and must not impose one (fingerprint-stable). *)
+        (* lbcc-lint: allow typ-phase-flow *)
         Reliable.run ?accountant ?faults ?patience ~label:"sssp" ~model ~graph
           ~size_bits:(fun d -> Payload.weight_bits d)
           ~init ~step

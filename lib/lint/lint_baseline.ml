@@ -1,0 +1,69 @@
+(* Baseline filtering: fail CI only on NEW violations.
+
+   A baseline file is just a saved lbcc-lint/1 report
+   ([lbcc-lint --json --out lint-baseline.json], or
+   [--write-baseline FILE]).  Under [--baseline FILE] the driver
+   subtracts the baseline from the current findings before deciding the
+   exit code, so a tree with known, not-yet-triaged debt can still gate
+   regressions.
+
+   Matching is by (rule, file, message) MULTISET, deliberately ignoring
+   line/col: adding a line above an old finding must not resurface it,
+   while a genuinely new instance of an already-known finding (same rule
+   and message text but one more occurrence than the baseline holds)
+   does fail.  Messages that embed call chains change when the graph
+   around them changes — that is accepted; a reshaped path to a known
+   offence is worth a fresh look. *)
+
+let key (d : Lint_diag.t) =
+  d.Lint_diag.rule ^ "|" ^ d.Lint_diag.file ^ "|" ^ d.Lint_diag.message
+
+(* Parse the [diagnostics] array of an lbcc-lint/1 report (or a bare
+   array of diagnostic objects) into keys.  Unknown fields are ignored;
+   a malformed file is an [Error] so the CLI can exit 2 rather than
+   silently gating nothing. *)
+let keys_of_json json =
+  let open Lbcc_obs.Json in
+  let diag_key j =
+    let str k = match member k j with Some (String s) -> Some s | _ -> None in
+    match (str "rule", str "file", str "message") with
+    | Some r, Some f, Some m -> Some (r ^ "|" ^ f ^ "|" ^ m)
+    | _ -> None
+  in
+  let arr =
+    match json with
+    | Arr items -> Some items
+    | Obj _ -> ( match member "diagnostics" json with Some (Arr items) -> Some items | _ -> None)
+    | _ -> None
+  in
+  match arr with
+  | None -> Error "baseline file is not an lbcc-lint/1 report (no diagnostics array)"
+  | Some items -> Ok (List.filter_map diag_key items)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read baseline: %s" msg)
+  | contents -> (
+      match Lbcc_obs.Json.of_string contents with
+      | exception Lbcc_obs.Json.Parse_error msg ->
+          Error (Printf.sprintf "baseline %s: %s" path msg)
+      | json -> keys_of_json json)
+
+(* Subtract the baseline multiset: each baseline entry absolves at most
+   one current diagnostic with the same key. *)
+let filter ~baseline diags =
+  let budget = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace budget k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
+    baseline;
+  List.filter
+    (fun d ->
+      let k = key d in
+      match Hashtbl.find_opt budget k with
+      | Some n when n > 0 ->
+          Hashtbl.replace budget k (n - 1);
+          false
+      | _ -> true)
+    diags

@@ -38,21 +38,22 @@ let rec walk ~root rel acc =
   else if is_ml rel then rel :: acc
   else acc
 
-let has_dot_slash p =
-  String.length p >= 2 && p.[0] = '.' && (p.[1] = '/' || p.[1] = '\\')
+(* Canonicalize a user-supplied path to its segment form: split on '/',
+   drop empty and "." segments, rejoin.  "lib//net", "lib/./net/" and
+   "./lib/net" all become "lib/net", so overlapping or differently-spelt
+   path arguments cannot smuggle the same file into the walk under two
+   names (which would double-report every diagnostic in it). *)
+let canonical p =
+  let segs =
+    List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' p)
+  in
+  match segs with [] -> "" | segs -> String.concat "/" segs
 
 let discover ~root paths =
   let files =
     List.fold_left
       (fun acc p ->
-        let p =
-          (* Normalise "./lib" and trailing slashes so rule scoping sees
-             canonical "lib/..." paths. *)
-          let p = if has_dot_slash p then String.sub p 2 (String.length p - 2) else p in
-          if p <> "/" && Filename.check_suffix p "/" then
-            String.sub p 0 (String.length p - 1)
-          else p
-        in
+        let p = canonical p in
         if not (Sys.file_exists (Filename.concat root p)) then
           raise (Sys_error (Printf.sprintf "%s: no such file or directory" p))
         else walk ~root p acc)
@@ -108,6 +109,71 @@ let run ~root paths =
       files
   in
   { root; files; diags = List.sort Lint_diag.compare_diag diags }
+
+(* ------------------------------------------------------------------ *)
+(* Typed tier                                                          *)
+
+exception Typed_unavailable of string
+(* No usable cmt artifacts; the CLI renders the message and exits 2. *)
+
+(* [run_typed] is a superset of [run]: the untyped pass stays (it is the
+   fast default and covers fixture-only rules), and the three typed
+   passes are layered on top from the cmt files under [root]/_build.
+   The call graph is built over ALL lib units regardless of [paths] —
+   interprocedural facts need the whole program — but only diagnostics
+   landing in the requested file set are reported, and the typed rules'
+   waivers are applied from the real sources. *)
+let run_typed ~root paths =
+  let untyped = run ~root paths in
+  match Lint_tast.load_cmts ~root with
+  | Error msg -> raise (Typed_unavailable msg)
+  | Ok units ->
+      let graph = Lint_callgraph.build units in
+      let suppress_cache = Hashtbl.create 64 in
+      let suppress_for path =
+        match Hashtbl.find_opt suppress_cache path with
+        | Some s -> s
+        | None ->
+            let s =
+              match read_file (Filename.concat root path) with
+              | source -> Lint_suppress.scan source
+              | exception Sys_error _ -> Lint_suppress.scan ""
+            in
+            Hashtbl.replace suppress_cache path s;
+            s
+      in
+      let typed = Lint_typed.analyze graph ~suppress_for in
+      let stale =
+        List.filter_map
+          (fun (u : Lint_tast.unit_info) ->
+            if not u.stale then None
+            else
+              Some
+                {
+                  Lint_diag.rule = "typ-stale-cmt";
+                  severity = Lint_diag.Warning;
+                  file = u.path;
+                  line = 1;
+                  col = 0;
+                  message =
+                    "source is newer than its .cmt; typed findings may be \
+                     stale — re-run `dune build`";
+                })
+          units
+      in
+      let in_scope = Hashtbl.create 64 in
+      List.iter (fun f -> Hashtbl.replace in_scope f ()) untyped.files;
+      let keep (d : Lint_diag.t) =
+        Hashtbl.mem in_scope d.Lint_diag.file
+        && not
+             (Lint_suppress.active (suppress_for d.Lint_diag.file)
+                ~rule:d.Lint_diag.rule ~line:d.Lint_diag.line)
+      in
+      let typed = List.filter keep (typed @ stale) in
+      {
+        untyped with
+        diags = List.sort Lint_diag.compare_diag (untyped.diags @ typed);
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -172,6 +172,53 @@ let rules =
          nothing.";
       applies = everywhere;
     };
+    (* Typed-tier rules (lbcc-lint --typed; cmt-based, see DESIGN.md §13).
+       The [applies] predicates scope where a waiver for the rule makes
+       sense; the passes themselves decide where they look. *)
+    {
+      name = "typ-det-taint";
+      severity = Lint_diag.Error;
+      doc =
+        "[typed] A determinism seed (ambient Random, hash-order \
+         iteration, wall-clock read, raw Domain.spawn) — possibly behind \
+         aliases or helper calls — is reachable from the public \
+         protocol/solver surface without routing through a sanctioned \
+         door (Lbcc_util.Tbl, Lbcc_obs.Clock, Lbcc_util.Pool). The \
+         diagnostic carries a shortest witness call chain.";
+      applies = protocol_path;
+    };
+    {
+      name = "typ-par-race";
+      severity = Lint_diag.Error;
+      doc =
+        "[typed] A closure passed to Pool.parallel_for/parallel_reduce \
+         writes captured mutable state (a ref, a mutable record field, \
+         an array/bytes cell at a chunk-independent index, an atomic, or \
+         a stdlib container): breaks the disjoint-writes contract that \
+         makes every pool size bit-identical (pool.mli, DESIGN.md §5b).";
+      applies = (fun p -> in_dir "lib" p && p <> "lib/util/pool.ml");
+    };
+    {
+      name = "typ-phase-flow";
+      severity = Lint_diag.Error;
+      doc =
+        "[typed] A broadcast primitive (Engine.run*, Reliable.run, \
+         Byzantine.run, Gossip.spread, Rounds.charge*) is reachable from \
+         a public entry point along a call path with no with_phase scope \
+         on it, or a resolved with_phase call carries a label outside the \
+         documented taxonomy. Interprocedural replacement for the \
+         lexical acct-* scope check.";
+      applies = accounting_path;
+    };
+    {
+      name = "typ-stale-cmt";
+      severity = Lint_diag.Warning;
+      doc =
+        "[typed] The source file is newer than the .cmt the typed pass \
+         analyzed: findings may describe an old revision. Re-run `dune \
+         build` to refresh the artifacts.";
+      applies = everywhere;
+    };
   ]
 
 let find_rule name = List.find_opt (fun r -> r.name = name) rules

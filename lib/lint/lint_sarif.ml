@@ -1,0 +1,103 @@
+(* SARIF 2.1.0 emission.
+
+   GitHub code scanning, VS Code's SARIF viewer and most CI dashboards
+   speak SARIF; emitting it alongside the native lbcc-lint/1 JSON makes
+   lint findings first-class CI artifacts (EXPERIMENTS.md).  Only the
+   required subset of the schema is produced: one [run] with a tool
+   driver listing every rule (so viewers can show the doc string without
+   a rules database) and one [result] per diagnostic with a physical
+   location.  SARIF regions are 1-based in both line and column;
+   Lint_diag columns are 0-based, hence the [+ 1]. *)
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let level_of_severity = function
+  | Lint_diag.Error -> "error"
+  | Lint_diag.Warning -> "warning"
+
+let rule_descriptor (r : Lint_rules.rule) =
+  Lbcc_obs.Json.Obj
+    [
+      ("id", Lbcc_obs.Json.String r.Lint_rules.name);
+      ( "shortDescription",
+        Lbcc_obs.Json.Obj
+          [ ("text", Lbcc_obs.Json.String r.Lint_rules.doc) ] );
+      ( "defaultConfiguration",
+        Lbcc_obs.Json.Obj
+          [
+            ( "level",
+              Lbcc_obs.Json.String (level_of_severity r.Lint_rules.severity) );
+          ] );
+    ]
+
+let result_of_diag (d : Lint_diag.t) =
+  Lbcc_obs.Json.Obj
+    [
+      ("ruleId", Lbcc_obs.Json.String d.Lint_diag.rule);
+      ("level", Lbcc_obs.Json.String (level_of_severity d.Lint_diag.severity));
+      ( "message",
+        Lbcc_obs.Json.Obj [ ("text", Lbcc_obs.Json.String d.Lint_diag.message) ]
+      );
+      ( "locations",
+        Lbcc_obs.Json.Arr
+          [
+            Lbcc_obs.Json.Obj
+              [
+                ( "physicalLocation",
+                  Lbcc_obs.Json.Obj
+                    [
+                      ( "artifactLocation",
+                        Lbcc_obs.Json.Obj
+                          [
+                            ("uri", Lbcc_obs.Json.String d.Lint_diag.file);
+                            ( "uriBaseId",
+                              Lbcc_obs.Json.String "SRCROOT" );
+                          ] );
+                      ( "region",
+                        Lbcc_obs.Json.Obj
+                          [
+                            ("startLine", Lbcc_obs.Json.Int d.Lint_diag.line);
+                            ( "startColumn",
+                              Lbcc_obs.Json.Int (d.Lint_diag.col + 1) );
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let to_json ?(tool_version = "2.0.0") diags =
+  Lbcc_obs.Json.Obj
+    [
+      ("$schema", Lbcc_obs.Json.String schema_uri);
+      ("version", Lbcc_obs.Json.String "2.1.0");
+      ( "runs",
+        Lbcc_obs.Json.Arr
+          [
+            Lbcc_obs.Json.Obj
+              [
+                ( "tool",
+                  Lbcc_obs.Json.Obj
+                    [
+                      ( "driver",
+                        Lbcc_obs.Json.Obj
+                          [
+                            ("name", Lbcc_obs.Json.String "lbcc-lint");
+                            ( "version",
+                              Lbcc_obs.Json.String tool_version );
+                            ( "informationUri",
+                              Lbcc_obs.Json.String
+                                "https://example.invalid/lbcc" );
+                            ( "rules",
+                              Lbcc_obs.Json.Arr
+                                (List.map rule_descriptor Lint_rules.rules) );
+                          ] );
+                    ] );
+                ( "results",
+                  Lbcc_obs.Json.Arr (List.map result_of_diag diags) );
+              ];
+          ] );
+    ]
+
+let to_string ?tool_version diags =
+  Lbcc_obs.Json.to_string ~pretty:true (to_json ?tool_version diags) ^ "\n"

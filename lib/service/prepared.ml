@@ -91,6 +91,9 @@ let mirror accountant (r : Solver.solve_result) =
   match accountant with
   | None -> ()
   | Some a ->
+      (* Full label path spelled out instead of opening a phase — see the
+         comment above this function. *)
+      (* lbcc-lint: allow typ-phase-flow *)
       Rounds.charge a ~bits:r.Solver.bits ~label:"query/laplacian-matvec"
         ~rounds:r.Solver.rounds
 
@@ -210,6 +213,9 @@ let mirror_breakdown accountant entries =
   | None -> ()
   | Some a ->
       List.iter
+        (* Same convention as [mirror]: the entries carry their own full label
+         paths. *)
+        (* lbcc-lint: allow typ-phase-flow *)
         (fun (label, rounds, bits) -> Rounds.charge a ~bits ~label ~rounds)
         entries
 

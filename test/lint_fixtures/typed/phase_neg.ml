@@ -1,0 +1,23 @@
+(* Negative fixture for typ-phase-flow: same call shape as the positive
+   twin, but the public surface opens a taxonomy-labelled with_phase
+   scope around the helper call, so every path from [Api.go] to the
+   primitive crosses a phased edge. *)
+
+module Rounds = struct
+  type acc = { mutable rounds : int }
+
+  let with_phase _acc _label f = f ()
+  let charge acc ~rounds = acc.rounds <- acc.rounds + rounds
+end
+
+module Engine = struct
+  let run acc = Rounds.charge acc ~rounds:1
+end
+
+module Impl = struct
+  let helper acc = Engine.run acc
+end
+
+module Api = struct
+  let go acc = Rounds.with_phase acc "query" (fun () -> Impl.helper acc)
+end

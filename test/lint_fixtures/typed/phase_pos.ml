@@ -1,0 +1,26 @@
+(* Positive fixture for typ-phase-flow: the broadcast primitive is one
+   call away from the public surface ([Api.go] -> [Impl.helper] ->
+   [Engine.run]) with no with_phase frame anywhere on the path — exactly
+   what the lexical accountant-in-scope check cannot see.  A second
+   finding comes from a resolved with_phase call whose label is outside
+   the taxonomy. *)
+
+module Rounds = struct
+  type acc = { mutable rounds : int }
+
+  let with_phase _acc _label f = f ()
+  let charge acc ~rounds = acc.rounds <- acc.rounds + rounds
+end
+
+module Engine = struct
+  let run acc = Rounds.charge acc ~rounds:1
+end
+
+module Impl = struct
+  let helper acc = Engine.run acc
+end
+
+module Api = struct
+  let go acc = Impl.helper acc
+  let mislabeled acc = Rounds.with_phase acc "bogus-phase" (fun () -> ())
+end

@@ -1,0 +1,23 @@
+(* Negative fixture for typ-par-race: the sanctioned shapes.  Writes into
+   a shared buffer indexed by the chunk's own induction variable are
+   disjoint per index; chunk-local refs are invisible outside the lane. *)
+
+module Pool = struct
+  let parallel_for _pool ~chunk:_ ~n:_ f = f 0 0
+end
+
+let results = Array.make 100 0
+
+let fill () =
+  Pool.parallel_for () ~chunk:16 ~n:100 (fun lo hi ->
+      for i = lo to hi do
+        results.(i) <- (2 * i)
+      done)
+
+let sum_local () =
+  Pool.parallel_for () ~chunk:16 ~n:100 (fun lo hi ->
+      let acc = ref 0 in
+      for i = lo to hi do
+        acc := !acc + i
+      done;
+      results.(lo) <- !acc)

@@ -1,0 +1,22 @@
+(* Positive fixture for typ-par-race: chunk bodies writing shared captured
+   state.  Two shapes, each the classic lost-update bug that passes every
+   single-domain test:
+
+   - a captured ref accumulated from every lane;
+   - a captured array cell at a chunk-independent index. *)
+
+module Pool = struct
+  let parallel_for _pool ~chunk:_ ~n:_ f = f 0 0
+end
+
+let total = ref 0
+
+let sum () =
+  Pool.parallel_for () ~chunk:16 ~n:100 (fun lo hi ->
+      for i = lo to hi do
+        total := !total + i
+      done)
+
+let cells = Array.make 4 0
+
+let fill () = Pool.parallel_for () ~chunk:1 ~n:4 (fun _lo _hi -> cells.(0) <- 1)

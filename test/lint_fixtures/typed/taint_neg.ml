@@ -1,0 +1,11 @@
+(* Negative fixture for typ-det-taint: the same draw routed through a
+   sanctioned door (the fixture config names [Taint_neg.Door] as one).
+   Taint neither originates inside a door nor propagates through it. *)
+
+module Door = struct
+  let pick n = Random.int n
+end
+
+let helper n = Door.pick n
+
+let run () = helper 32

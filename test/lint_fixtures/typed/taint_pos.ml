@@ -1,0 +1,8 @@
+(* Positive fixture for typ-det-taint: the ambient-Random draw is hidden
+   behind a helper, invisible to the untyped rules' per-file scan once a
+   module alias or a second file is involved; the typed pass follows the
+   call edge from the public surface and reports the seed. *)
+
+let helper n = Random.int n
+
+let run () = helper 32
